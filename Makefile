@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report --output EXPERIMENTS.generated.md
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/codegen_tour.py
+	$(PYTHON) examples/cross_architecture_study.py
+	$(PYTHON) examples/compiler_flag_tuning.py
+	$(PYTHON) examples/beyond_the_paper.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

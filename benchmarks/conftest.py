@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures and
+saves the rendered artefact under ``benchmarks/results/`` so the output
+can be inspected after the run (pytest captures stdout by default).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """save_artifact(name, text): persist a rendered table/figure."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

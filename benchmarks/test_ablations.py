@@ -1,0 +1,138 @@
+"""Benchmarks: the extension experiments (beyond the paper's artefacts).
+
+* δ sweep for RSp (the paper blames δ=20% for RSp's weakness);
+* surrogate-learner ablation (§III-A: learner choice is crucial);
+* pool-size sweep for RSb;
+* machine-dissimilarity quantification (§VII future work);
+* multi-source transfer.
+"""
+
+from repro.experiments.ablations import (
+    run_delta_sweep,
+    run_dissimilarity,
+    run_multisource,
+    run_pool_sweep,
+    run_surrogate_ablation,
+)
+
+
+def test_delta_sweep(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_delta_sweep(seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ablation_delta", result.render())
+    assert len(result.rows) == 5
+
+
+def test_surrogate_ablation(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_surrogate_ablation(seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ablation_surrogate", result.render())
+    by_label = {r.label: r for r in result.rows}
+    # Recursive partitioning should not lose to the linear baseline.
+    assert by_label["random-forest"].performance >= by_label["ridge"].performance * 0.9
+
+
+def test_pool_sweep(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_pool_sweep(seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ablation_pool", result.render())
+    # Larger pools cannot hurt the best achievable predicted quality.
+    rows = {r.label: r for r in result.rows}
+    assert rows["N=50000"].performance >= rows["N=100"].performance * 0.8
+
+
+def test_dissimilarity(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_dissimilarity(seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ablation_dissimilarity", result.render())
+    # §VII's hypothesis: response distance anti-correlates with the
+    # empirical rank correlation of configuration runtimes.
+    assert result.correlation < -0.4
+    # Intel pair: smallest distance, highest correlation among pairs.
+    by_pair = {(a, b): (d, r) for a, b, d, r in result.pairs}
+    intel = by_pair[("westmere", "sandybridge")]
+    xgene_pairs = [v for (a, b), v in by_pair.items() if "xgene" in (a, b)]
+    assert all(intel[0] < d for d, _ in xgene_pairs)
+    assert all(intel[1] > r for _, r in xgene_pairs)
+
+
+def test_multisource(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_multisource(seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ablation_multisource", result.render())
+    assert len(result.rows) == 3  # two single sources + pooled
+
+
+def test_warm_start(benchmark, save_artifact):
+    from repro.experiments.ablations import run_warm_start
+
+    result = benchmark.pedantic(
+        lambda: run_warm_start(seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ablation_warm_start", result.render())
+    by_label = {r.label: r for r in result.rows}
+    # Warm starting must not hurt any technique's best-found quality.
+    for tech in ("ga", "anneal", "bandit"):
+        warm = by_label[f"{tech} (warm)"]
+        cold = by_label[f"{tech} (cold)"]
+        assert warm.performance >= cold.performance * 0.9
+
+
+def test_online(benchmark, save_artifact):
+    from repro.experiments.ablations import run_online
+
+    result = benchmark.pedantic(lambda: run_online(seed=0), rounds=1, iterations=1)
+    save_artifact("ablation_online", result.render())
+    by_label = {r.label.split(" ")[0]: r for r in result.rows}
+    assert by_label["RSb+online"].performance >= by_label["RSb"].performance * 0.85
+
+
+def test_machine_calibration(benchmark, save_artifact):
+    """Regenerate the machine-model calibration report (the evidence
+    that the simulated Table II machines behave like their namesakes)."""
+    from repro.perf.validation import validation_table
+
+    text = benchmark.pedantic(validation_table, rounds=1, iterations=1)
+    save_artifact("machine_calibration", text)
+    assert "sandybridge" in text
+
+
+def test_search_comparison(benchmark, save_artifact):
+    """Regenerate the cross-family search comparison (Section II's full
+    catalog of techniques, cold vs transfer-assisted)."""
+    from repro.experiments.ablations import run_search_comparison
+
+    result = benchmark.pedantic(
+        lambda: run_search_comparison(seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ablation_search_comparison", result.render())
+    rows = {r.label: r for r in result.rows}
+    # Transfer must rescue at least half the population-free techniques
+    # that fail cold (the §VII hypothesis, demonstrated).
+    rescued = sum(
+        1
+        for t in ("orthogonal", "pattern", "ga", "anneal")
+        if rows[f"{t} (transfer)"].performance >= rows[f"{t} (cold)"].performance
+    )
+    assert rescued >= 2
+
+
+def test_variance_study(benchmark, save_artifact):
+    """Quantify the run-to-run variance behind single-run table cells."""
+    from repro.experiments.variance import run_variance_study
+
+    result = benchmark.pedantic(
+        lambda: run_variance_study(n_seeds=5), rounds=1, iterations=1
+    )
+    save_artifact("ablation_variance", result.render())
+    # The flagship LU transfer succeeds in the clear majority of seeds.
+    assert result.success_rate() >= 0.6
+    # Search-time speedups stay in the paper's successful regime.
+    import numpy as np
+
+    assert np.median(result.search_times) > 1.6

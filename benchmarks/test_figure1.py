@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 1 (LU variants on Westmere vs Sandybridge).
+
+Paper: 200 LU configurations on both machines, Pearson and Spearman
+correlation both above 0.8.
+"""
+
+from repro.experiments import run_figure1
+
+
+def test_figure1(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_figure1(n_configs=200, seed=0), rounds=1, iterations=1
+    )
+    save_artifact("figure1", result.render())
+    # Paper-shape assertions: both correlations above 0.8.
+    assert result.pearson > 0.8
+    assert result.spearman > 0.8
+    assert len(result.runtimes_a) == 200

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 2 (MM decision tree on Sandybridge).
+
+Paper: a regression tree over the MM tuning parameters whose splits
+involve the unroll (U_*) and register-tiling (RT_*) parameters.
+"""
+
+from repro.experiments import run_figure2
+
+
+def test_figure2(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_figure2(n_train=200, seed=0), rounds=1, iterations=1
+    )
+    save_artifact("figure2", result.render())
+    assert result.reproduced()  # splits over U_*/RT_* parameters
+    assert result.n_leaves >= 4
+    assert result.depth <= 3  # display-depth tree, as in the paper

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 3 (Westmere -> Sandybridge panels).
+
+Paper: for ATAX, LU, HPL, RT — model-based panels (RS/RSp/RSb),
+model-free panels (RS/RSpf/RSbf) and correlation panels.  RS variants
+dominate RS; RSb's search speedups range 1.6X-130X; correlation is
+high except for HPL.
+"""
+
+import numpy as np
+
+from repro.experiments import run_figure3
+
+
+def test_figure3(benchmark, save_artifact):
+    panels = benchmark.pedantic(
+        lambda: run_figure3(seed=0, nmax=100), rounds=1, iterations=1
+    )
+    save_artifact("figure3", panels.render())
+    from pathlib import Path
+
+    panels.export_csv(Path(__file__).parent / "results")
+
+    # Kernel panels correlate strongly; HPL visibly weaker (paper text,
+    # "Except for HPL, the plots exhibit a high correlation").
+    kernel_rhos = [panels.panel(p).spearman for p in ("ATAX", "LU")]
+    assert min(kernel_rhos) > 0.6
+    assert panels.panel("HPL").spearman < min(kernel_rhos)
+
+    # RSb succeeds on the majority of problems (the paper's trend).
+    rsb = [panels.panel(p).reports()["RSb"] for p in ("ATAX", "LU", "HPL", "RT")]
+    successes = sum(r.successful for r in rsb)
+    assert successes >= 2
+
+    # Search-time speedups dominate performance speedups.
+    med_srh = np.median([r.search_time for r in rsb])
+    med_prf = np.median([r.performance for r in rsb])
+    assert med_srh > med_prf
+
+    # Model-free biased variant never improves on the source's best.
+    for p in ("ATAX", "LU", "HPL", "RT"):
+        assert panels.panel(p).reports()["RSbf"].performance <= 1.0 + 1e-9

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 4 (Sandybridge -> IBM Power 7 panels).
+
+Paper: despite the vendor difference, RSb and RSbf still beat RS;
+global correlation is lower than the Intel pair's, but the
+high-performing region transfers.
+"""
+
+from repro.experiments import run_figure1, run_figure4
+
+
+def test_figure4(benchmark, save_artifact):
+    panels = benchmark.pedantic(
+        lambda: run_figure4(seed=0, nmax=100), rounds=1, iterations=1
+    )
+    save_artifact("figure4", panels.render())
+
+    # The paper's Figure-4 claim is about the *biased family*: "RSb and
+    # RSbf are better than RS, RSp and RSpf".  Per problem, the better
+    # of RSb/RSbf must reach RS's quality faster than RS (single runs
+    # put individual cells within noise of 1.0, as in the paper's own
+    # mixed Power-7 rows of Table IV).
+    for p in ("ATAX", "LU", "HPL", "RT"):
+        reports = panels.panel(p).reports()
+        best_biased = max(
+            reports["RSb"].search_time, reports["RSbf"].search_time
+        )
+        assert best_biased > 1.0, p
+    # And the biased variants never lose meaningful performance.
+    rsb = [panels.panel(p).reports()["RSb"] for p in ("ATAX", "LU", "HPL", "RT")]
+    assert all(r.performance >= 0.9 for r in rsb)
+
+    # Cross-vendor correlation visibly below the Intel pair's (Fig. 1).
+    intel = run_figure1(n_configs=100, seed=0)
+    assert panels.panel("LU").spearman < intel.spearman

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Table IV (RSb speedups, all problems x pairs).
+
+Paper shape targets:
+
+* X-Gene rows for MM and COR are "-" (data collection infeasible);
+* Intel <-> Intel and most Power 7 transfers succeed for the kernels;
+* HPL and RT earn search-time-only wins (performance ~1.0);
+* transfers onto X-Gene are largely unrewarding.
+"""
+
+from repro.experiments import run_table4
+from repro.experiments.table4 import SOURCES
+
+
+def test_table4(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        lambda: run_table4(seed=0, nmax=100), rounds=1, iterations=1
+    )
+    save_artifact("table4", result.render())
+
+    # X-Gene MM/COR: no data, like the paper.
+    for problem in ("MM", "COR"):
+        for source in SOURCES:
+            assert not result.cell(problem, source, "xgene").has_data
+
+    # X-Gene LU/ATAX/HPL/RT rows: data exists (collection completed).
+    for problem in ("ATAX", "LU", "HPL", "RT"):
+        assert any(
+            result.cell(problem, s, "xgene").has_data for s in SOURCES
+        )
+
+    # Intel<->Intel kernel transfers succeed.
+    for problem in ("MM", "LU"):
+        assert result.cell(problem, "westmere", "sandybridge").successful
+        assert result.cell(problem, "sandybridge", "westmere").successful
+
+    # Mini-app performance speedups stay near 1.0 (flat landscapes).
+    for problem in ("HPL", "RT"):
+        cells = [c for c in result.cells if c.problem == problem and c.has_data]
+        assert all(c.performance < 1.35 for c in cells)
+
+    # Overall success/failure agreement with the published table.
+    assert result.success_agreement() >= 0.6

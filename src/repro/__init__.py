@@ -1,0 +1,62 @@
+"""repro — reproduction of *Exploiting Performance Portability in Search
+Algorithms for Autotuning* (Roy, Balaprakash, Hovland, Wild; 2016).
+
+The package builds the paper's full stack in pure Python/NumPy:
+
+* :mod:`repro.searchspace` — tunable-parameter spaces (Table I/III);
+* :mod:`repro.ml` — from-scratch CART/random-forest surrogates (§III-A);
+* :mod:`repro.machines` — parametric models of the five machines (Table II);
+* :mod:`repro.orio` — a mini-Orio: annotated-C parsing, loop transforms,
+  code generation, static analysis (§IV-A);
+* :mod:`repro.kernels` — the SPAPT kernels MM, ATAX, COR, LU (§IV-C);
+* :mod:`repro.perf` — roofline cost model + simulated clock;
+* :mod:`repro.search` — RS and the model-based/model-free variants
+  (Algorithms 1 & 2, §IV-D);
+* :mod:`repro.transfer` — the cross-machine transfer workflow and the
+  speedup metrics (§IV-D);
+* :mod:`repro.tuner` — an OpenTuner-style framework (§IV-A) for the
+  HPL and raytracer mini-applications (:mod:`repro.miniapps`);
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quick start::
+
+    from repro import TransferSession, get_machine
+    from repro.kernels import get_kernel
+
+    session = TransferSession(kernel=get_kernel("LU"),
+                              source=get_machine("westmere"),
+                              target=get_machine("sandybridge"))
+    outcome = session.run()          # RS vs RSp/RSb/RSpf/RSbf on target
+    print(outcome.summary_table())
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+__all__ = ["__version__", "ReproError"]
+
+
+def __getattr__(name):
+    # Lazy top-level re-exports keep `import repro` cheap while still
+    # offering the convenient flat API documented above.
+    if name in ("TransferSession", "TransferOutcome", "speedups"):
+        import repro.transfer as _transfer
+
+        return getattr(_transfer, name)
+    if name in ("get_machine", "MACHINES", "MachineSpec"):
+        import repro.machines as _machines
+
+        return getattr(_machines, name)
+    if name in ("get_kernel", "KERNELS"):
+        import repro.kernels as _kernels
+
+        return getattr(_kernels, name)
+    if name in ("RandomForestRegressor", "DecisionTreeRegressor"):
+        import repro.ml as _ml
+
+        return getattr(_ml, name)
+    if name == "SearchSpace":
+        from repro.searchspace import SearchSpace
+
+        return SearchSpace
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

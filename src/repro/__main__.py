@@ -1,0 +1,117 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available machines, kernels and mini-applications.
+``transfer``
+    Run one transfer experiment (the paper's core workflow).
+``figure1 | figure2 | figure3 | figure4 | figure5``
+    Regenerate a figure and print its rendering.
+``table1 | table2 | table3 | table4 | table5``
+    Regenerate a table and print it.
+``report``
+    Run everything and write EXPERIMENTS-style markdown to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.kernels import KERNELS, get_kernel
+    from repro.machines import MACHINES
+
+    print("machines (Table II):")
+    for name, spec in MACHINES.items():
+        print(f"  {name:12s} {spec.display_name} — {spec.cores} cores @ {spec.clock_ghz} GHz")
+    print("\nkernels (Table III):")
+    for name in KERNELS:
+        k = get_kernel(name)
+        print(f"  {name:6s} dim={k.space.dimension:3d} |D|={k.space.cardinality:.3g} "
+              f"input={k.input_size}")
+    print("\nmini-applications: HPL (15 params), RT (143 flags + 104 params)")
+    return 0
+
+
+def _cmd_transfer(args) -> int:
+    from repro.experiments.harness import build_session
+
+    session = build_session(
+        args.problem, args.source, args.target,
+        compiler=args.compiler, seed=args.seed, nmax=args.nmax,
+    )
+    outcome = session.run()
+    print(outcome.summary_table())
+    rho_p, rho_s = outcome.correlation()
+    print(f"correlation: rho_p={rho_p:.2f} rho_s={rho_s:.2f}")
+    return 0
+
+
+def _cmd_artifact(name: str):
+    def run(args) -> int:
+        import repro.experiments as exp
+
+        runner = getattr(exp, f"run_{name}")
+        kwargs = {}
+        if name not in ("table1", "table2", "table3"):
+            kwargs["seed"] = args.seed
+        result = runner(**kwargs)
+        print(result.render())
+        return 0
+
+    return run
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(seed=args.seed, nmax=args.nmax, stream=sys.stderr)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Exploiting Performance Portability in "
+        "Search Algorithms for Autotuning' (Roy et al., 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show machines and problems").set_defaults(func=_cmd_list)
+
+    t = sub.add_parser("transfer", help="run one transfer experiment")
+    t.add_argument("problem", help="MM | ATAX | LU | COR | HPL | RT")
+    t.add_argument("source", help="source machine (e.g. westmere)")
+    t.add_argument("target", help="target machine (e.g. sandybridge)")
+    t.add_argument("--compiler", default="gcc", choices=["gcc", "icc"])
+    t.add_argument("--nmax", type=int, default=100)
+    t.add_argument("--seed", default="cli")
+    t.set_defaults(func=_cmd_transfer)
+
+    for name in ("figure1", "figure2", "figure3", "figure4", "figure5",
+                 "table1", "table2", "table3", "table4", "table5"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--seed", default=0)
+        p.set_defaults(func=_cmd_artifact(name))
+
+    r = sub.add_parser("report", help="run everything, write markdown")
+    r.add_argument("--output", default="EXPERIMENTS.generated.md")
+    r.add_argument("--nmax", type=int, default=100)
+    r.add_argument("--seed", default=0)
+    r.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

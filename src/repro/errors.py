@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch everything library-specific
+with a single ``except`` clause while letting genuine programming
+errors (``TypeError`` from misuse of NumPy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SearchSpaceError(ReproError):
+    """Invalid parameter definition, configuration, or space operation."""
+
+
+class ConfigurationError(SearchSpaceError):
+    """A configuration does not belong to the search space it is used with."""
+
+
+class ModelError(ReproError):
+    """Surrogate-model fitting or prediction failure."""
+
+
+class NotFittedError(ModelError):
+    """A model was asked to predict before :meth:`fit` was called."""
+
+
+class MachineError(ReproError):
+    """Invalid machine specification or unknown machine name."""
+
+
+class CompilationError(ReproError):
+    """The (simulated) compiler rejected a code variant."""
+
+
+class ParseError(ReproError):
+    """The mini-Orio front end could not parse an annotated source."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class TransformError(ReproError):
+    """A code transformation could not be applied to the loop nest."""
+
+
+class EvaluationError(ReproError):
+    """A simulated measurement of a code variant failed."""
+
+
+class BudgetExhaustedError(EvaluationError):
+    """The simulated time budget for an experiment ran out.
+
+    This models the paper's X-Gene situation, where run/compile times were
+    too high to collect data for some problems (Section V).
+    """
+
+
+class SearchError(ReproError):
+    """A search algorithm was configured or driven incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured incorrectly."""

@@ -1,0 +1,179 @@
+"""Figure 3 — using Intel Westmere to speed the search on Sandybridge.
+
+One row per problem (ATAX, LU, HPL, RT), three panels per row:
+
+* model-based variants — best-found run time vs. elapsed search time
+  for RS, RSp, RSb;
+* model-free variants — RS, RSpf, RSbf;
+* correlation — source vs. target run times of the commonly evaluated
+  configurations, with ρp and ρs.
+
+The same machinery renders Figures 4 and 5 with different machine
+pairs/compilers (see :mod:`repro.experiments.figure4` / ``figure5``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.harness import build_session
+from repro.search.result import SearchTrace
+from repro.transfer.metrics import SpeedupReport
+from repro.transfer.session import TransferOutcome
+from repro.utils.asciiplot import Series, scatter_plot, step_plot
+
+__all__ = ["PanelResult", "FigurePanels", "run_figure3", "run_panels"]
+
+_MARKERS = {"RS": ".", "RSp": "p", "RSb": "b", "RSpf": "f", "RSbf": "m"}
+
+
+@dataclass(frozen=True)
+class PanelResult:
+    """One problem row of a Figure 3/4/5 style plot."""
+
+    problem: str
+    source: str
+    target: str
+    outcome: TransferOutcome
+    pearson: float
+    spearman: float
+
+    def reports(self) -> Mapping[str, SpeedupReport]:
+        return self.outcome.reports
+
+    def _panel(self, names: Sequence[str], title: str) -> str:
+        series = []
+        for name in names:
+            trace = self.outcome.traces.get(name)
+            if trace is None or not trace.records:
+                continue
+            xs, ys = trace.best_so_far()
+            series.append(Series(name, xs, ys, marker=_MARKERS.get(name, "*")))
+        if not series:
+            return f"{title}: (no data)"
+        return step_plot(series, title=title, width=56, height=14)
+
+    def render(self) -> str:
+        row = [
+            self._panel(("RS", "RSp", "RSb"), f"{self.problem}: model-based variants"),
+            self._panel(("RS", "RSpf", "RSbf"), f"{self.problem}: model-free variants"),
+        ]
+        source_trace = self.outcome.source_trace
+        rs = self.outcome.rs
+        src_by_cfg = {r.config.index: r.runtime for r in source_trace.records}
+        xs = [src_by_cfg[r.config.index] for r in rs.records if r.config.index in src_by_cfg]
+        ys = [r.runtime for r in rs.records if r.config.index in src_by_cfg]
+        if len(xs) >= 2:
+            row.append(
+                scatter_plot(
+                    np.asarray(xs),
+                    np.asarray(ys),
+                    title=(
+                        f"{self.problem}: correlation "
+                        f"(rho_p={self.pearson:.2f}, rho_s={self.spearman:.2f})"
+                    ),
+                    xlabel=f"{self.source} (s)",
+                    ylabel=f"{self.target} (s)",
+                    width=56,
+                    height=14,
+                    logx=True,
+                    logy=True,
+                )
+            )
+        stats = "   ".join(
+            f"{name}: Prf {rep.performance:.2f}X Srh {rep.search_time:.2f}X"
+            for name, rep in self.outcome.reports.items()
+        )
+        return "\n\n".join(row) + "\n" + stats
+
+
+@dataclass(frozen=True)
+class FigurePanels:
+    """A complete figure: one PanelResult per problem."""
+
+    name: str
+    source: str
+    target: str
+    panels: tuple[PanelResult, ...]
+
+    def panel(self, problem: str) -> PanelResult:
+        for p in self.panels:
+            if p.problem == problem:
+                return p
+        raise KeyError(problem)
+
+    def export_csv(self, directory) -> list:
+        """Write each panel's search traces as long-format CSV files
+        (for external plotting); returns the written paths."""
+        from pathlib import Path
+
+        from repro.utils.csvio import write_traces_csv
+
+        directory = Path(directory)
+        paths = []
+        for panel in self.panels:
+            path = directory / (
+                f"{self.name.lower().replace(' ', '')}_{panel.problem.lower()}.csv"
+            )
+            paths.append(
+                write_traces_csv(path, panel.outcome.traces.values())
+            )
+        return paths
+
+    def render(self) -> str:
+        head = f"=== {self.name}: {self.source} -> {self.target} ===\n"
+        return head + "\n\n".join(p.render() for p in self.panels)
+
+
+def run_panels(
+    name: str,
+    problems: Sequence[str],
+    source: str,
+    target: str,
+    compiler: str = "gcc",
+    seed: object = 0,
+    nmax: int = 100,
+    openmp: bool = False,
+    threads: int | dict = 1,
+) -> FigurePanels:
+    """Run the full panel experiment for one machine pair."""
+    panels = []
+    for problem in problems:
+        session = build_session(
+            problem,
+            source,
+            target,
+            compiler=compiler,
+            seed=seed,
+            nmax=nmax,
+            openmp=openmp,
+            threads=threads,
+        )
+        outcome = session.run()
+        rho_p, rho_s = outcome.correlation()
+        panels.append(
+            PanelResult(
+                problem=problem,
+                source=source,
+                target=target,
+                outcome=outcome,
+                pearson=rho_p,
+                spearman=rho_s,
+            )
+        )
+    return FigurePanels(name=name, source=source, target=target, panels=tuple(panels))
+
+
+def run_figure3(
+    problems: Sequence[str] = ("ATAX", "LU", "HPL", "RT"),
+    seed: object = 0,
+    nmax: int = 100,
+) -> FigurePanels:
+    """Figure 3: Westmere as source, Sandybridge as target (gcc -O3)."""
+    return run_panels(
+        "Figure 3", problems, source="westmere", target="sandybridge",
+        seed=seed, nmax=nmax,
+    )

@@ -1,0 +1,27 @@
+"""Figure 4 — Intel Sandybridge used to speed the search on IBM Power 7.
+
+Same panel layout as Figure 3.  The paper's observation: despite the
+architectural (and vendor) difference, RSb and RSbf still dominate —
+the high-performing configurations correlate even where the global
+ρp/ρs are visibly lower than in the Westmere/Sandybridge pair.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figure3 import FigurePanels, run_panels
+
+__all__ = ["run_figure4"]
+
+
+def run_figure4(
+    problems: Sequence[str] = ("ATAX", "LU", "HPL", "RT"),
+    seed: object = 0,
+    nmax: int = 100,
+) -> FigurePanels:
+    """Figure 4: Sandybridge as source, Power 7 as target (gcc -O3)."""
+    return run_panels(
+        "Figure 4", problems, source="sandybridge", target="power7",
+        seed=seed, nmax=nmax,
+    )

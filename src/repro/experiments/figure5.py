@@ -1,0 +1,42 @@
+"""Figure 5 — Intel Sandybridge used to speed the search on Xeon Phi.
+
+The Phi experiments switch to the Intel compiler (icc 15.0.1 -O3), add
+OpenMP, and use 8 threads on Westmere/Sandybridge and 60 on the Phi
+(Section V).  Expected shape:
+
+* **MM** — no clear trend: icc recognizes the plain matrix-multiply
+  idiom, so the untransformed default is best and manual transforms
+  only hurt;
+* **LU** — RSb dominates with very large search-time speedups;
+* **COR** — RSb identifies promising configurations quickly but can
+  fail to beat RS's final best.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.figure3 import FigurePanels, run_panels
+from repro.experiments.harness import XEON_PHI_THREADS
+
+__all__ = ["run_figure5"]
+
+
+def run_figure5(
+    problems: Sequence[str] = ("MM", "LU", "COR"),
+    source: str = "sandybridge",
+    seed: object = 0,
+    nmax: int = 100,
+) -> FigurePanels:
+    """Figure 5: Sandybridge -> Xeon Phi with icc + OpenMP."""
+    return run_panels(
+        "Figure 5",
+        problems,
+        source=source,
+        target="xeonphi",
+        compiler="icc",
+        openmp=True,
+        threads=dict(XEON_PHI_THREADS),
+        seed=seed,
+        nmax=nmax,
+    )

@@ -1,0 +1,73 @@
+"""Shared experiment plumbing: the six problems and session builders."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.kernels import get_kernel
+from repro.machines import get_compiler, get_machine
+from repro.miniapps import MiniappEvaluator, make_hpl, make_raytracer
+from repro.transfer.session import TransferSession
+
+__all__ = ["PROBLEMS", "build_problem", "build_session", "XEON_PHI_THREADS"]
+
+# The six problems of the evaluation: four SPAPT kernels driven through
+# the mini-Orio, two mini-applications driven through the OpenTuner-
+# style evaluator (Section IV-C).
+PROBLEMS: tuple[str, ...] = ("MM", "ATAX", "LU", "COR", "HPL", "RT")
+
+# Thread counts of the Xeon Phi experiments (Section V): "We set 8
+# threads for Sandybridge and Westmere ... and 60 threads for the Phi."
+XEON_PHI_THREADS = {"westmere": 8, "sandybridge": 8, "xeonphi": 60}
+
+
+def build_problem(name: str):
+    """(problem, evaluator_factory-or-None) for a problem name."""
+    key = name.strip().upper()
+    if key in ("MM", "ATAX", "LU", "COR"):
+        return get_kernel(key.lower()), None
+    if key == "HPL":
+        model = make_hpl()
+    elif key == "RT":
+        model = make_raytracer()
+    else:
+        raise ExperimentError(f"unknown problem {name!r}; known: {PROBLEMS}")
+
+    def factory(machine, clock, _model=model):
+        return MiniappEvaluator(_model, machine, clock=clock)
+
+    return model, factory
+
+
+def build_session(
+    problem: str,
+    source: str,
+    target: str,
+    compiler: str = "gcc",
+    seed: object = 0,
+    nmax: int = 100,
+    pool_size: int = 10_000,
+    openmp: bool = False,
+    threads: int | dict = 1,
+    budget_seconds: float | None = None,
+    variants: tuple[str, ...] = ("RSp", "RSb", "RSpf", "RSbf"),
+    learner_factory: Callable | None = None,
+) -> TransferSession:
+    """A fully configured transfer session for one experiment cell."""
+    kernel, factory = build_problem(problem)
+    return TransferSession(
+        kernel=kernel,
+        source=get_machine(source),
+        target=get_machine(target),
+        compiler=get_compiler(compiler),
+        nmax=nmax,
+        pool_size=pool_size,
+        openmp=openmp,
+        threads=threads,
+        seed=(problem, str(seed)),
+        budget_seconds=budget_seconds,
+        variants=variants,
+        evaluator_factory=factory,
+        learner_factory=learner_factory,
+    )

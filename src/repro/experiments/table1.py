@@ -1,0 +1,55 @@
+"""Table I — Orio transformations considered.
+
+A validation artefact: renders the transformation catalog and checks
+that the library's parameter types expose exactly the paper's ranges
+(unroll 1..32, cache tiling 2^0..2^11, register tiling 2^0..2^5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.searchspace import IntegerParameter, PowerOfTwoParameter
+from repro.utils.tables import format_table
+
+__all__ = ["Table1Result", "run_table1"]
+
+_ROWS = (
+    ("Loop unrolling", "data reuse", "1, ..., 31, 32"),
+    ("Cache tiling", "cache hits", "2^0, ..., 2^10, 2^11"),
+    ("Register tiling", "cache to register loads", "2^0, ..., 2^4, 2^5"),
+)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    unroll_values: tuple
+    cache_tile_values: tuple
+    register_tile_values: tuple
+
+    def reproduced(self) -> bool:
+        return (
+            self.unroll_values == tuple(range(1, 33))
+            and self.cache_tile_values == tuple(2**e for e in range(12))
+            and self.register_tile_values == tuple(2**e for e in range(6))
+        )
+
+    def render(self) -> str:
+        table = format_table(
+            ["Transformation", "Description", "Range"],
+            list(_ROWS),
+            title="Table I: Orio transformations considered",
+        )
+        return table + f"\nranges match paper: {self.reproduced()}"
+
+
+def run_table1() -> Table1Result:
+    """Instantiate the Table I parameter types and read their domains."""
+    unroll = IntegerParameter("U", 1, 32)
+    cache = PowerOfTwoParameter("T", 0, 11)
+    register = PowerOfTwoParameter("RT", 0, 5)
+    return Table1Result(
+        unroll_values=tuple(unroll.values()),
+        cache_tile_values=tuple(cache.values()),
+        register_tile_values=tuple(register.values()),
+    )

@@ -1,0 +1,60 @@
+"""Table II — description of the architecture set considered.
+
+Renders the machine registry as the paper's specification table and
+validates every cell against the published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines import MACHINES
+from repro.utils.tables import format_table
+
+__all__ = ["Table2Result", "run_table2"]
+
+# The published Table II: (processor, cores, GHz, L1 KB, L2 KB, L3 MB, mem GB).
+PAPER_TABLE2 = {
+    "sandybridge": ("Intel E5-2687W", 8, 3.4, 32, 256, 20.0, 64),
+    "westmere": ("Intel E5645", 6, 2.4, 32, 256, 12.0, 48),
+    "xeonphi": ("Intel Xeon Phi 7120a", 61, 1.24, 32, 512, None, 16),
+    "power7": ("IBM Power7+", 6, 4.2, 32, 256, 10.0, 128),
+    "xgene": ("APM883208-X1", 8, 2.4, 32, 256, 8.0, 16),
+}
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    rows: tuple
+    mismatches: tuple
+
+    def reproduced(self) -> bool:
+        return not self.mismatches
+
+    def render(self) -> str:
+        table = format_table(
+            ["Name", "Cores", "Clock (GHz)", "L1 (KB)", "L2 (KB)", "L3 (MB)", "Memory (GB)"],
+            [list(r) for r in self.rows],
+            title="Table II: architecture set considered",
+        )
+        status = (
+            "all cells match the paper"
+            if not self.mismatches
+            else f"MISMATCHES: {self.mismatches}"
+        )
+        return table + "\n" + status
+
+
+def run_table2() -> Table2Result:
+    """Extract the registry's Table II view and diff it with the paper."""
+    rows = []
+    mismatches = []
+    for name, spec in MACHINES.items():
+        _, _, cores, clock, l1, l2, l3, mem = spec.summary_row()
+        rows.append((name, cores, clock, l1, l2, l3, mem))
+        expected = PAPER_TABLE2[name]
+        got = (cores, clock, l1, l2, l3, mem)
+        want = expected[1:]
+        if got != want:
+            mismatches.append((name, got, want))
+    return Table2Result(rows=tuple(rows), mismatches=tuple(mismatches))

@@ -1,0 +1,131 @@
+"""Table V — Xeon Phi experiments (icc 15.0.1 -O3, OpenMP).
+
+Sources/targets {Westmere, Sandybridge, Xeon Phi}, kernels {MM, LU,
+COR}, 8/8/60 threads.  Expected shape: MM flat (icc's idiom handling
+makes the default variant best), LU enormous search-time speedups,
+COR mixed (fast early progress, final best can lose to RS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.experiments.harness import XEON_PHI_THREADS, build_session
+from repro.experiments.table4 import Table4Cell
+from repro.utils.tables import format_table
+
+__all__ = ["Table5Result", "run_table5", "PAPER_TABLE5"]
+
+MACHINES5 = ("westmere", "sandybridge", "xeonphi")
+KERNELS5 = ("MM", "LU", "COR")
+
+# Published Table V (Prf.Imp, Srh.Imp), indexed [kernel][target][source].
+PAPER_TABLE5: Mapping[str, Mapping[str, Mapping[str, tuple]]] = {
+    "MM": {
+        "westmere": {"sandybridge": (1.00, 165.49), "xeonphi": (0.92, 0.00)},
+        "sandybridge": {"westmere": (1.00, 1.00), "xeonphi": (1.00, 1.00)},
+        "xeonphi": {"westmere": (1.00, 1.00), "sandybridge": (1.00, 1.00)},
+    },
+    "LU": {
+        "westmere": {"sandybridge": (1.09, 41.45), "xeonphi": (1.10, 168.89)},
+        "sandybridge": {"westmere": (1.34, 514.49), "xeonphi": (1.17, 120.67)},
+        "xeonphi": {"westmere": (1.63, 850.53), "sandybridge": (1.61, 850.53)},
+    },
+    "COR": {
+        "westmere": {"sandybridge": (1.29, 24.95), "xeonphi": (1.06, 4.12)},
+        "sandybridge": {"westmere": (1.17, 248.02), "xeonphi": (1.20, 5.90)},
+        "xeonphi": {"westmere": (1.44, 0.52), "sandybridge": (0.49, 0.00)},
+    },
+}
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    cells: tuple[Table4Cell, ...]
+
+    def cell(self, kernel: str, source: str, target: str) -> Table4Cell:
+        for c in self.cells:
+            if (c.problem, c.source, c.target) == (kernel, source, target):
+                return c
+        raise KeyError((kernel, source, target))
+
+    def phi_lu_dominates(self) -> bool:
+        """The headline Table V claim: LU transfers onto the Phi earn
+        very large search-time speedups (order 10^2-10^3 in the paper)."""
+        lu = [c for c in self.cells if c.problem == "LU" and c.target == "xeonphi"]
+        if not lu:
+            return False
+        return max(c.search_time or 0.0 for c in lu) >= 100.0
+
+    def mm_is_flat(self) -> bool:
+        """The MM anomaly: icc's idiom handling flattens the landscape,
+        so transfer earns no real performance speedups (paper: 0.92-1.00;
+        residual quirks put single runs within ~20% of 1.0)."""
+        mm = [c for c in self.cells if c.problem == "MM" and c.has_data]
+        return bool(mm) and all((c.performance or 0.0) <= 1.2 for c in mm)
+
+    def render(self) -> str:
+        blocks = []
+        present = [k for k in KERNELS5 if any(c.problem == k for c in self.cells)]
+        for kernel in present:
+            rows = []
+            for target in MACHINES5:
+                row: list = [target]
+                for source in MACHINES5:
+                    if source == target:
+                        row.append("-")
+                        continue
+                    c = self.cell(kernel, source, target)
+                    if not c.has_data:
+                        row.append("-")
+                    else:
+                        mark = "*" if c.successful else " "
+                        row.append(f"{c.performance:.2f}/{c.search_time:.2f}{mark}")
+                rows.append(row)
+            blocks.append(
+                format_table(
+                    ["Target \\ Source"] + list(MACHINES5),
+                    rows,
+                    title=f"Table V [{kernel}] — icc + OpenMP, Prf.Imp/Srh.Imp of RSb",
+                )
+            )
+        footer = (
+            f"MM flat (icc idiom): {self.mm_is_flat()}   "
+            f"LU->Phi dominates: {self.phi_lu_dominates()}"
+        )
+        return "\n\n".join(blocks) + "\n" + footer
+
+
+def run_table5(
+    kernels: Sequence[str] = KERNELS5,
+    seed: object = 0,
+    nmax: int = 100,
+) -> Table5Result:
+    """Run the full Table V grid."""
+    cells = []
+    for kernel in kernels:
+        for target in MACHINES5:
+            for source in MACHINES5:
+                if source == target:
+                    continue
+                session = build_session(
+                    kernel, source, target,
+                    compiler="icc",
+                    openmp=True,
+                    threads=dict(XEON_PHI_THREADS),
+                    seed=seed,
+                    nmax=nmax,
+                    variants=("RSb",),
+                )
+                outcome = session.run()
+                report = outcome.report("RSb")
+                paper = PAPER_TABLE5.get(kernel, {}).get(target, {}).get(source)
+                cells.append(
+                    Table4Cell(
+                        kernel, source, target,
+                        report.performance, report.search_time,
+                        report.successful, paper,
+                    )
+                )
+    return Table5Result(cells=tuple(cells))

@@ -1,0 +1,100 @@
+"""ATAX — matrix transpose and vector multiplication (Table III row 2).
+
+``y = A^T (A x)`` over an ``N x N`` matrix (default N = 10000).  Two
+phases, each annotated separately: ``t = A x`` (row-major streaming)
+and ``y = A^T t``.  Memory-bandwidth bound: each element of ``A`` is
+touched once per phase with only one multiply-add, so arithmetic
+intensity is ~0.25 flops/byte (Section IV-C).
+
+Search space (13 parameters, |D| ≈ 2.5701e12 vs. the paper's 2.57e12).
+SPAPT uses heterogeneous per-parameter ranges; the unroll ranges below
+(11/21/23/27) are chosen to reproduce the published space cardinality
+to 0.002% while keeping the Table I transformation types:
+
+===========  ============================  ==========
+parameter    meaning                       range
+===========  ============================  ==========
+U1_I, U1_J   phase-1 unrolls (i, j)        1..11, 1..21
+U2_K, U2_L   phase-2 unrolls (k, l)        1..23, 1..27
+T1_I, T1_J   phase-1 cache tiles           2^0 .. 2^11
+T2_K, T2_L   phase-2 cache tiles           2^0 .. 2^11
+RT1_J        phase-1 register tile (j)     2^0 .. 2^5
+RT2_K/RT2_L  phase-2 register tiles        2^0 .. 2^5
+VEC, SCR     pragmas                       on/off
+===========  ============================  ==========
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import SpaptKernel
+from repro.searchspace import (
+    BooleanParameter,
+    IntegerParameter,
+    PowerOfTwoParameter,
+    SearchSpace,
+)
+
+__all__ = ["make_atax"]
+
+ATAX_SOURCE = """
+/*@ begin Loop (
+  transform Composite(
+    tile      = [("i", "T1_I"), ("j", "T1_J")],
+    unrolljam = [("i", "U1_I"), ("j", "U1_J")],
+    regtile   = [("j", "RT1_J")],
+    vector    = "VEC",
+    scalar_replacement = "SCR"
+  )
+) @*/
+for (i = 0; i <= N-1; i++)
+  for (j = 0; j <= N-1; j++)
+    t[i] = t[i] + A[i*N+j] * x[j];
+/*@ end @*/
+
+/*@ begin Loop (
+  transform Composite(
+    tile      = [("k", "T2_K"), ("l", "T2_L")],
+    unrolljam = [("k", "U2_K"), ("l", "U2_L")],
+    regtile   = [("k", "RT2_K"), ("l", "RT2_L")],
+    vector    = "VEC",
+    scalar_replacement = "SCR"
+  )
+) @*/
+for (k = 0; k <= N-1; k++)
+  for (l = 0; l <= N-1; l++)
+    y[l] = y[l] + A[k*N+l] * t[k];
+/*@ end @*/
+"""
+
+
+def make_atax(n: int = 10000) -> SpaptKernel:
+    """Build the ATAX search problem with input size ``n``."""
+    space = SearchSpace(
+        [
+            IntegerParameter("U1_I", 1, 11),
+            IntegerParameter("U1_J", 1, 21),
+            IntegerParameter("U2_K", 1, 23),
+            IntegerParameter("U2_L", 1, 27),
+            PowerOfTwoParameter("T1_I", 0, 11),
+            PowerOfTwoParameter("T1_J", 0, 11),
+            PowerOfTwoParameter("T2_K", 0, 11),
+            PowerOfTwoParameter("T2_L", 0, 11),
+            PowerOfTwoParameter("RT1_J", 0, 5),
+            PowerOfTwoParameter("RT2_K", 0, 5),
+            PowerOfTwoParameter("RT2_L", 0, 5),
+            BooleanParameter("VEC"),
+            BooleanParameter("SCR"),
+        ],
+        name="ATAX",
+    )
+    return SpaptKernel(
+        name="ATAX",
+        tag="atax",
+        source=ATAX_SOURCE,
+        space=space,
+        consts={"N": n},
+        input_size=str(n),
+        boundedness="memory",
+        description="Matrix transpose and vector multiplication y = A^T (A x).",
+        scalar_option_params={"vectorize": "VEC", "scalar_replacement": "SCR"},
+    )

@@ -1,0 +1,77 @@
+"""Correlation (COR) — Table III row 3.
+
+The dominant loop of the correlation computation: the symmetric
+cross-product of the standardized data matrix, ``R += D^T D`` over an
+``M x M`` problem (default 2000x2000).  Both ``D`` references are
+column accesses (stride M) with respect to the innermost loop, so the
+kernel streams with poor spatial locality and low flop intensity —
+memory bound, as Section IV-C describes.
+
+Search space (12 parameters, |D| ≈ 8.56e10 vs. the paper's 8.57e10;
+same construction as MM).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import SpaptKernel
+from repro.searchspace import (
+    BooleanParameter,
+    IntegerParameter,
+    PowerOfTwoParameter,
+    SearchSpace,
+)
+
+__all__ = ["make_cor"]
+
+COR_SOURCE = """
+/*@ begin Loop (
+  transform Composite(
+    tile      = [("i", "T1_I"), ("j", "T1_J"), ("k", "T1_K")],
+    unrolljam = [("i", "U_I"),  ("j", "U_J"),  ("k", "U_K")],
+    regtile   = [("i", "RT_I"), ("j", "RT_J"), ("k", "RT_K")],
+    vector    = "VEC",
+    scalar_replacement = "SCR"
+  )
+) @*/
+for (i = 0; i <= M-1; i++)
+  for (j = 0; j <= M-1; j++)
+    for (k = 0; k <= M-1; k++)
+      R[i*M+j] = R[i*M+j] + D[k*M+i] * D[k*M+j];
+/*@ end @*/
+"""
+
+
+def make_cor(m: int = 2000) -> SpaptKernel:
+    """Build the COR search problem with input size ``m``."""
+    space = SearchSpace(
+        [
+            IntegerParameter("U_I", 1, 32),
+            IntegerParameter("U_J", 1, 32),
+            IntegerParameter("U_K", 1, 28),
+            PowerOfTwoParameter("T1_I", 0, 11),
+            PowerOfTwoParameter("T1_J", 0, 11),
+            PowerOfTwoParameter("T1_K", 0, 11),
+            PowerOfTwoParameter("RT_I", 0, 5),
+            PowerOfTwoParameter("RT_J", 0, 5),
+            PowerOfTwoParameter("RT_K", 0, 5),
+            BooleanParameter("VEC"),
+            BooleanParameter("SCR"),
+            BooleanParameter("PAD"),
+        ],
+        name="COR",
+    )
+    return SpaptKernel(
+        name="COR",
+        tag="cor",
+        source=COR_SOURCE,
+        space=space,
+        consts={"M": m},
+        input_size=f"{m}x{m}",
+        boundedness="memory",
+        description="Correlation: symmetric cross-product R += D^T D.",
+        scalar_option_params={
+            "vectorize": "VEC",
+            "scalar_replacement": "SCR",
+            "padding": "PAD",
+        },
+    )

@@ -1,0 +1,140 @@
+"""Additional SPAPT-style kernels beyond the paper's four.
+
+The SPAPT suite [7] contains many more search problems than the four
+the paper evaluates; these extras (BICG, MVT, GEMVER — all
+reduction-only kernels, legal under every transformation this library
+implements) let downstream studies run broader cross-architecture
+sweeps.  They are *extensions*: no paper table/figure depends on them.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import SpaptKernel
+from repro.searchspace import (
+    BooleanParameter,
+    IntegerParameter,
+    PowerOfTwoParameter,
+    SearchSpace,
+)
+
+__all__ = ["make_bicg", "make_mvt", "make_gemver", "EXTRA_KERNELS"]
+
+BICG_SOURCE = """
+/*@ begin Loop (
+  transform Composite(
+    tile      = [("i", "T1_I"), ("j", "T1_J")],
+    unrolljam = [("i", "U_I"), ("j", "U_J")],
+    regtile   = [("j", "RT_J")],
+    vector    = "VEC",
+    scalar_replacement = "SCR"
+  )
+) @*/
+for (i = 0; i <= N-1; i++)
+  for (j = 0; j <= N-1; j++) {
+    s[j] = s[j] + r[i] * A[i*N+j];
+    q[i] = q[i] + A[i*N+j] * p[j];
+  }
+/*@ end @*/
+"""
+
+MVT_SOURCE = """
+/*@ begin Loop (
+  transform Composite(
+    tile      = [("i", "T1_I"), ("j", "T1_J")],
+    unrolljam = [("i", "U_I"), ("j", "U_J")],
+    regtile   = [("i", "RT_I"), ("j", "RT_J")],
+    vector    = "VEC",
+    scalar_replacement = "SCR"
+  )
+) @*/
+for (i = 0; i <= N-1; i++)
+  for (j = 0; j <= N-1; j++) {
+    x1[i] = x1[i] + A[i*N+j] * y1[j];
+    x2[i] = x2[i] + A[j*N+i] * y2[j];
+  }
+/*@ end @*/
+"""
+
+GEMVER_SOURCE = """
+/*@ begin Loop (
+  transform Composite(
+    tile      = [("i", "T1_I"), ("j", "T1_J")],
+    unrolljam = [("i", "U_I"), ("j", "U_J")],
+    regtile   = [("j", "RT_J")],
+    vector    = "VEC",
+    scalar_replacement = "SCR"
+  )
+) @*/
+for (i = 0; i <= N-1; i++)
+  for (j = 0; j <= N-1; j++) {
+    B[i*N+j] = A[i*N+j] + u1[i] * v1[j] + u2[i] * v2[j];
+    x[i] = x[i] + B[i*N+j] * y[j];
+  }
+/*@ end @*/
+"""
+
+
+def _two_loop_space(name: str, regtile_i: bool) -> SearchSpace:
+    params = [
+        IntegerParameter("U_I", 1, 32),
+        IntegerParameter("U_J", 1, 32),
+        PowerOfTwoParameter("T1_I", 0, 11),
+        PowerOfTwoParameter("T1_J", 0, 11),
+    ]
+    if regtile_i:
+        params.append(PowerOfTwoParameter("RT_I", 0, 5))
+    params.append(PowerOfTwoParameter("RT_J", 0, 5))
+    params += [BooleanParameter("VEC"), BooleanParameter("SCR")]
+    return SearchSpace(params, name=name)
+
+
+def make_bicg(n: int = 8000) -> SpaptKernel:
+    """BiCG sub-kernel: ``s = A^T r`` and ``q = A p`` fused (memory bound)."""
+    return SpaptKernel(
+        name="BICG",
+        tag="bicg",
+        source=BICG_SOURCE,
+        space=_two_loop_space("BICG", regtile_i=False),
+        consts={"N": n},
+        input_size=str(n),
+        boundedness="memory",
+        description="BiCG stabilized sub-kernel: fused A^T r and A p.",
+        scalar_option_params={"vectorize": "VEC", "scalar_replacement": "SCR"},
+    )
+
+
+def make_mvt(n: int = 8000) -> SpaptKernel:
+    """MVT: fused ``x1 += A y1`` and ``x2 += A^T y2`` (memory bound)."""
+    return SpaptKernel(
+        name="MVT",
+        tag="mvt",
+        source=MVT_SOURCE,
+        space=_two_loop_space("MVT", regtile_i=True),
+        consts={"N": n},
+        input_size=str(n),
+        boundedness="memory",
+        description="Matrix-vector product and transpose product, fused.",
+        scalar_option_params={"vectorize": "VEC", "scalar_replacement": "SCR"},
+    )
+
+
+def make_gemver(n: int = 4000) -> SpaptKernel:
+    """GEMVER: rank-2 update fused with a matvec (memory bound)."""
+    return SpaptKernel(
+        name="GEMVER",
+        tag="gemver",
+        source=GEMVER_SOURCE,
+        space=_two_loop_space("GEMVER", regtile_i=False),
+        consts={"N": n},
+        input_size=f"{n}x{n}",
+        boundedness="memory",
+        description="BLAS gemver core: B = A + u1 v1^T + u2 v2^T; x += B y.",
+        scalar_option_params={"vectorize": "VEC", "scalar_replacement": "SCR"},
+    )
+
+
+EXTRA_KERNELS = {
+    "bicg": make_bicg,
+    "mvt": make_mvt,
+    "gemver": make_gemver,
+}

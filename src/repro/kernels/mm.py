@@ -1,0 +1,91 @@
+"""Matrix multiplication (MM) — Table III row 1.
+
+Dense double-precision ``C += A * B`` over an ``N x N`` problem
+(default N = 2000, matching the paper's 2000x2000 input).  Compute
+bound: performance is limited by floating-point throughput, so the
+interesting configurations balance register tiling against spills and
+expose enough unrolled parallelism to fill the pipelines (Section IV-C
+cites the roofline argument [33]).
+
+Search space (12 parameters, |D| ≈ 8.56e10 vs. the paper's 8.58e10;
+the per-parameter ranges follow Table I, with ``U_K`` capped at 28 to
+match the published space size — SPAPT instances use per-problem
+ranges):
+
+=========  =======================  ==========
+parameter  meaning                  range
+=========  =======================  ==========
+U_I/U_J    unroll factors (i, j)    1 .. 32
+U_K        unroll factor (k)        1 .. 28
+T1_I/J/K   cache tiles              2^0 .. 2^11
+RT_I/J/K   register tiles           2^0 .. 2^5
+VEC        vectorization pragma     on/off
+SCR        scalar replacement       on/off
+PAD        array padding/alignment  on/off
+=========  =======================  ==========
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import SpaptKernel
+from repro.searchspace import (
+    BooleanParameter,
+    IntegerParameter,
+    PowerOfTwoParameter,
+    SearchSpace,
+)
+
+__all__ = ["make_mm"]
+
+MM_SOURCE = """
+/*@ begin Loop (
+  transform Composite(
+    tile      = [("i", "T1_I"), ("j", "T1_J"), ("k", "T1_K")],
+    unrolljam = [("i", "U_I"),  ("j", "U_J"),  ("k", "U_K")],
+    regtile   = [("i", "RT_I"), ("j", "RT_J"), ("k", "RT_K")],
+    vector    = "VEC",
+    scalar_replacement = "SCR"
+  )
+) @*/
+for (i = 0; i <= N-1; i++)
+  for (j = 0; j <= N-1; j++)
+    for (k = 0; k <= N-1; k++)
+      C[i*N+j] = C[i*N+j] + A[i*N+k] * B[k*N+j];
+/*@ end @*/
+"""
+
+
+def make_mm(n: int = 2000) -> SpaptKernel:
+    """Build the MM search problem with input size ``n``."""
+    space = SearchSpace(
+        [
+            IntegerParameter("U_I", 1, 32),
+            IntegerParameter("U_J", 1, 32),
+            IntegerParameter("U_K", 1, 28),
+            PowerOfTwoParameter("T1_I", 0, 11),
+            PowerOfTwoParameter("T1_J", 0, 11),
+            PowerOfTwoParameter("T1_K", 0, 11),
+            PowerOfTwoParameter("RT_I", 0, 5),
+            PowerOfTwoParameter("RT_J", 0, 5),
+            PowerOfTwoParameter("RT_K", 0, 5),
+            BooleanParameter("VEC"),
+            BooleanParameter("SCR"),
+            BooleanParameter("PAD"),
+        ],
+        name="MM",
+    )
+    return SpaptKernel(
+        name="MM",
+        tag="mm",
+        source=MM_SOURCE,
+        space=space,
+        consts={"N": n},
+        input_size=f"{n}x{n}",
+        boundedness="compute",
+        description="Dense matrix-matrix multiplication C += A*B.",
+        scalar_option_params={
+            "vectorize": "VEC",
+            "scalar_replacement": "SCR",
+            "padding": "PAD",
+        },
+    )

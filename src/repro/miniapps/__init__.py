@@ -1,0 +1,33 @@
+"""Mini-applications tuned through the OpenTuner-style stack (§IV-C).
+
+* :mod:`repro.miniapps.hpl` — High-Performance LINPACK with its 15
+  classic tuning parameters;
+* :mod:`repro.miniapps.raytracer` — a C++ raytracer tuned through g++
+  flags (143 on/off flags + 104 value parameters, as in the paper);
+* :mod:`repro.miniapps.gccflags` — the flag catalog and its sparse
+  effect model.
+
+Both models share the structure real flag/parameter tuning exhibits: a
+*flat* landscape (total tuning swing of tens of percent, not multiples
+— the paper's HPL/RT performance speedups are all 1.00) where part of
+each parameter's effect is machine-portable and part machine-specific;
+the machine-specific share grows with the machine's quirk scale, which
+is what makes the HPL correlation panel visibly weaker than the kernel
+panels (Figure 3) and X-Gene transfers unrewarding.
+"""
+
+from repro.miniapps.base import MiniappEvaluator, MiniappModel
+from repro.miniapps.hpl import HplModel, make_hpl
+from repro.miniapps.raytracer import RaytracerModel, make_raytracer
+from repro.miniapps.gccflags import GCC_FLAGS, GCC_PARAMS
+
+__all__ = [
+    "MiniappEvaluator",
+    "MiniappModel",
+    "HplModel",
+    "make_hpl",
+    "RaytracerModel",
+    "make_raytracer",
+    "GCC_FLAGS",
+    "GCC_PARAMS",
+]

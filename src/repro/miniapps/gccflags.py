@@ -1,0 +1,117 @@
+"""g++ flag/parameter catalog for the raytracer experiment.
+
+The paper extracted "all the supported g++ flags and parameters for
+each machine and then found the common set" — 143 on/off flags and 104
+value parameters.  The names below follow gcc's real ``-f...`` flag and
+``--param`` namespaces (a representative catalog of the gcc 4.x
+optimization surface; the counts match the paper exactly and are
+asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+__all__ = ["GCC_FLAGS", "GCC_PARAMS", "PARAM_LEVELS"]
+
+# 143 on/off -f flags.
+_FLAG_STEMS = [
+    "aggressive-loop-optimizations", "align-functions", "align-jumps",
+    "align-labels", "align-loops", "asynchronous-unwind-tables",
+    "auto-inc-dec", "branch-count-reg", "branch-probabilities",
+    "branch-target-load-optimize", "branch-target-load-optimize2",
+    "btr-bb-exclusive", "caller-saves", "combine-stack-adjustments",
+    "common", "compare-elim", "conserve-stack", "cprop-registers",
+    "crossjumping", "cse-follow-jumps", "cse-skip-blocks",
+    "cx-fortran-rules", "cx-limited-range", "data-sections", "dce",
+    "defer-pop", "delayed-branch", "delete-null-pointer-checks",
+    "devirtualize", "dse", "early-inlining", "expensive-optimizations",
+    "float-store", "forward-propagate", "function-sections", "gcse",
+    "gcse-after-reload", "gcse-las", "gcse-lm", "gcse-sm",
+    "graphite-identity", "guess-branch-probability", "hoist-adjacent-loads",
+    "if-conversion", "if-conversion2", "indirect-inlining", "inline",
+    "inline-atomics", "inline-functions", "inline-functions-called-once",
+    "inline-small-functions", "ipa-cp", "ipa-cp-clone", "ipa-matrix-reorg",
+    "ipa-profile", "ipa-pta", "ipa-pure-const", "ipa-reference",
+    "ipa-sra", "ira-hoist-pressure", "ira-loop-pressure",
+    "ira-share-save-slots", "ira-share-spill-slots", "ivopts",
+    "jump-tables", "keep-inline-functions", "loop-block",
+    "loop-interchange", "loop-nest-optimize", "loop-parallelize-all",
+    "loop-strip-mine", "math-errno", "merge-all-constants",
+    "merge-constants", "modulo-sched", "modulo-sched-allow-regmoves",
+    "move-loop-invariants", "omit-frame-pointer", "optimize-sibling-calls",
+    "optimize-strlen", "pack-struct", "peel-loops", "peephole",
+    "peephole2", "plt", "predictive-commoning", "prefetch-loop-arrays",
+    "printf-return-value", "reciprocal-math", "record-gcc-switches",
+    "ree", "regmove", "rename-registers", "reorder-blocks",
+    "reorder-blocks-and-partition", "reorder-functions",
+    "rerun-cse-after-loop", "reschedule-modulo-scheduled-loops",
+    "rounding-math", "rtti", "sched-critical-path-heuristic",
+    "sched-dep-count-heuristic", "sched-group-heuristic",
+    "sched-interblock", "sched-last-insn-heuristic", "sched-pressure",
+    "sched-rank-heuristic", "sched-spec", "sched-spec-insn-heuristic",
+    "sched-spec-load", "sched-spec-load-dangerous",
+    "sched-stalled-insns", "sched-stalled-insns-dep", "sched2-use-superblocks",
+    "schedule-insns", "schedule-insns2", "section-anchors",
+    "sel-sched-pipelining", "sel-sched-pipelining-outer-loops",
+    "sel-sched-reschedule-pipelined", "selective-scheduling",
+    "selective-scheduling2", "short-enums", "short-wchar",
+    "signaling-nans", "signed-zeros", "single-precision-constant",
+    "split-ivs-in-unroller", "split-wide-types", "stack-protector",
+    "strict-aliasing", "strict-enums", "thread-jumps",
+    "tracer", "tree-bit-ccp", "tree-builtin-call-dce", "tree-ccp",
+    "tree-ch", "tree-coalesce-vars", "tree-copy-prop",
+    "tree-dce", "tree-dominator-opts",
+    "tree-dse", 
+]
+GCC_FLAGS = tuple(f"f{stem}" for stem in _FLAG_STEMS)
+
+# 104 --param value parameters.
+_PARAM_STEMS = [
+    "align-loop-iterations", "align-threshold", "asan-globs",
+    "builtin-expect-probability", "case-values-threshold",
+    "comdat-sharing-probability", "cse-store-cost", "cxx-max-namespaces",
+    "early-inlining-insns", "gcse-after-reload-critical-fraction",
+    "gcse-after-reload-partial-fraction", "gcse-cost-distance-ratio",
+    "gcse-unrestricted-cost", "ggc-min-expand", "ggc-min-heapsize",
+    "graphite-max-bbs-per-function", "graphite-max-nb-scop-params",
+    "hot-bb-count-ws-permille", "hot-bb-frequency-fraction",
+    "inline-min-speedup", "inline-unit-growth", "integer-share-limit",
+    "ip-profile-estimate", "ipa-cp-array-index-hint-bonus",
+    "ipa-cp-eval-threshold", "ipa-cp-loop-hint-bonus", "ipa-cp-value-list-size",
+    "ipa-max-agg-items", "ipa-sra-ptr-growth-factor", "ira-loop-reserved-regs",
+    "ira-max-conflict-table-size", "ira-max-loops-num",
+    "iv-always-prune-cand-set-bound", "iv-consider-all-candidates-bound",
+    "iv-max-considered-uses", "l1-cache-line-size", "l1-cache-size",
+    "l2-cache-size", "large-function-growth", "large-function-insns",
+    "large-stack-frame", "large-stack-frame-growth", "large-unit-insns",
+    "lim-expensive", "loop-block-tile-size", "loop-invariant-max-bbs-in-loop",
+    "loop-max-datarefs-for-datadeps", "lra-max-considered-reload-pseudos",
+    "max-average-unrolled-insns", "max-completely-peel-loop-nest-depth",
+    "max-completely-peel-times", "max-completely-peeled-insns",
+    "max-crossjump-edges", "max-cse-insns", "max-cse-path-length",
+    "max-cselib-memory-locations", "max-delay-slot-insn-search",
+    "max-delay-slot-live-search", "max-dse-active-local-stores",
+    "max-early-inliner-iterations", "max-fields-for-field-sensitive",
+    "max-gcse-insertion-ratio", "max-gcse-memory", "max-goto-duplication-insns",
+    "max-grow-copy-bb-insns", "max-hoist-depth", "max-inline-insns-auto",
+    "max-inline-insns-recursive", "max-inline-insns-recursive-auto",
+    "max-inline-insns-single", "max-inline-recursive-depth",
+    "max-inline-recursive-depth-auto", "max-iterations-computation-cost",
+    "max-iterations-to-track", "max-jump-thread-duplication-stmts",
+    "max-last-value-rtl", "max-modulo-backtrack-attempts",
+    "max-partial-antic-length", "max-peel-branches", "max-peel-times",
+    "max-peeled-insns", "max-pending-list-length", "max-pipeline-region-blocks",
+    "max-pipeline-region-insns", "max-predicted-iterations",
+    "max-reload-search-insns", "max-sched-extend-regions-iters",
+    "max-sched-insn-conflict-delay", "max-sched-ready-insns",
+    "max-sched-region-blocks", "max-sched-region-insns",
+    "max-slsr-cand-scan", "max-stores-to-sink", "max-tail-merge-comparisons",
+    "max-tail-merge-iterations", "max-tracked-strlens",
+    "max-unroll-times", "max-unrolled-insns", "max-unswitch-insns",
+    "max-unswitch-level", "max-variable-expansions-in-unroller",
+    "max-vartrack-expr-depth", "max-vartrack-size", "min-crossjump-insns",
+]
+GCC_PARAMS = tuple(f"param-{stem}" for stem in _PARAM_STEMS)
+
+# Each --param is tuned over 8 discrete levels (0 = gcc default, 1-7 =
+# scaled alternatives), the bucketing OpenTuner's gcc examples use.
+PARAM_LEVELS = 8

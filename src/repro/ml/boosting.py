@@ -1,0 +1,87 @@
+"""Gradient-boosted regression trees (squared loss).
+
+An extension beyond the paper (Section VII suggests testing other
+learners): stage-wise fitting of shallow CART trees to the residuals,
+shrunk by a learning rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.base import Regressor, check_X, check_Xy
+from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.rng import RngFactory
+
+__all__ = ["GradientBoostingRegressor"]
+
+
+class GradientBoostingRegressor(Regressor):
+    """L2 gradient boosting with optional row subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 200,
+        learning_rate: float = 0.05,
+        max_depth: int = 3,
+        subsample: float = 1.0,
+        min_samples_leaf: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ModelError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ModelError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        if not 0.0 < subsample <= 1.0:
+            raise ModelError(f"subsample must be in (0, 1], got {subsample}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.trees: list[DecisionTreeRegressor] = []
+        self._base: float = 0.0
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        X, y = check_Xy(X, y)
+        n, p = X.shape
+        factory = RngFactory("gbrt", seed=self.seed)
+        self._base = float(y.mean())
+        pred = np.full(n, self._base)
+        self.trees = []
+        m = max(1, int(round(self.subsample * n)))
+        for t in range(self.n_estimators):
+            residual = y - pred
+            rng = factory.child("round", t)
+            rows = rng.choice(n, size=m, replace=False) if m < n else np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                rng=factory.child("split", t),
+            )
+            tree.fit(X[rows], residual[rows])
+            self.trees.append(tree)
+            pred += self.learning_rate * tree.predict(X)
+        self._n_features = p
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        p = self._require_fitted()
+        X = check_X(X, p)
+        pred = np.full(X.shape[0], self._base)
+        for tree in self.trees:
+            pred += self.learning_rate * tree.predict(X)
+        return pred
+
+    def staged_predict(self, X) -> np.ndarray:
+        """Predictions after each boosting round, shape (rounds, rows)."""
+        p = self._require_fitted()
+        X = check_X(X, p)
+        pred = np.full(X.shape[0], self._base)
+        stages = np.empty((len(self.trees), X.shape[0]))
+        for t, tree in enumerate(self.trees):
+            pred = pred + self.learning_rate * tree.predict(X)
+            stages[t] = pred
+        return stages

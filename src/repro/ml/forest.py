@@ -1,0 +1,134 @@
+"""Random forest regression (Breiman 2001) — the paper's surrogate model.
+
+Each tree is grown on a bootstrap resample of the training set with a
+random feature subset considered at every split; the forest predicts
+the mean of its trees.  Out-of-bag (OOB) predictions give an unbiased
+generalization estimate without a held-out set — useful because the
+paper's training sets are only ``nmax = 100`` evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.base import Regressor, check_X, check_Xy
+from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.rng import RngFactory
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor(Regressor):
+    """Bagged ensemble of CART trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_features:
+        Per-split feature subset (default ``"third"``, the classic
+        regression-forest choice of p/3).
+    max_depth, min_samples_split, min_samples_leaf:
+        Passed through to each tree.
+    seed:
+        Root seed; tree ``i`` draws from an independent child stream,
+        so results do not depend on construction order.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 64,
+        max_features: int | float | str | None = "third",
+        max_depth: int | None = None,
+        min_samples_split: int = 5,
+        min_samples_leaf: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ModelError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_features = max_features
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.trees: list[DecisionTreeRegressor] = []
+        self._oob_prediction: np.ndarray | None = None
+        self._importances: np.ndarray | None = None
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X, y = check_Xy(X, y)
+        n, p = X.shape
+        factory = RngFactory("random-forest", seed=self.seed)
+        self.trees = []
+        oob_sum = np.zeros(n)
+        oob_count = np.zeros(n)
+        importances = np.zeros(p)
+        for t in range(self.n_estimators):
+            rng = factory.child("tree", t)
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=factory.child("split", t),
+            )
+            tree.fit(X[sample], y[sample])
+            self.trees.append(tree)
+            importances += tree.feature_importances_
+            out_of_bag = np.setdiff1d(np.arange(n), sample, assume_unique=False)
+            if out_of_bag.size:
+                oob_sum[out_of_bag] += tree.predict(X[out_of_bag])
+                oob_count[out_of_bag] += 1
+        self._n_features = p
+        with np.errstate(invalid="ignore", divide="ignore"):
+            self._oob_prediction = np.where(oob_count > 0, oob_sum / oob_count, np.nan)
+        total = importances.sum()
+        self._importances = importances / total if total > 0 else importances
+        self._y_train = y
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        p = self._require_fitted()
+        X = check_X(X, p)
+        acc = np.zeros(X.shape[0])
+        for tree in self.trees:
+            acc += tree.predict(X)
+        return acc / len(self.trees)
+
+    def predict_std(self, X) -> np.ndarray:
+        """Ensemble disagreement (std of per-tree predictions).
+
+        The cheap epistemic-uncertainty estimate behind model-based
+        search: high where the forest has seen little training data.
+        """
+        p = self._require_fitted()
+        X = check_X(X, p)
+        preds = np.stack([tree.predict(X) for tree in self.trees])
+        return preds.std(axis=0)
+
+    # ------------------------------------------------------------------
+    @property
+    def oob_prediction_(self) -> np.ndarray:
+        """Per-training-row OOB prediction (NaN where always in-bag)."""
+        self._require_fitted()
+        assert self._oob_prediction is not None
+        return self._oob_prediction
+
+    def oob_score(self) -> float:
+        """OOB R² over the rows that received at least one OOB vote."""
+        from repro.ml.metrics import r2_score
+
+        pred = self.oob_prediction_
+        mask = np.isfinite(pred)
+        if mask.sum() < 2:
+            raise ModelError("too few OOB rows to compute a score; add trees")
+        return r2_score(self._y_train[mask], pred[mask])
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        self._require_fitted()
+        assert self._importances is not None
+        return self._importances

@@ -1,0 +1,61 @@
+"""k-nearest-neighbours regression baseline (standardized Euclidean)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.base import Regressor, check_X, check_Xy
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor(Regressor):
+    """Mean (optionally distance-weighted) of the k nearest neighbours."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if n_neighbors < 1:
+            raise ModelError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if weights not in ("uniform", "distance"):
+            raise ModelError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X, y) -> "KNeighborsRegressor":
+        X, y = check_Xy(X, y)
+        if X.shape[0] < self.n_neighbors:
+            raise ModelError(
+                f"training set of {X.shape[0]} rows is smaller than k={self.n_neighbors}"
+            )
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        self._X = (X - self._mean) / scale
+        self._y = y
+        self._n_features = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        p = self._require_fitted()
+        X = check_X(X, p)
+        Z = (X - self._mean) / self._scale
+        # Pairwise squared distances without forming (a-b) explicitly.
+        d2 = (
+            np.sum(Z**2, axis=1)[:, None]
+            - 2.0 * Z @ self._X.T
+            + np.sum(self._X**2, axis=1)[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        k = self.n_neighbors
+        nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        neigh_y = self._y[nn]
+        if self.weights == "uniform":
+            return neigh_y.mean(axis=1)
+        dist = np.sqrt(np.take_along_axis(d2, nn, axis=1))
+        w = 1.0 / np.maximum(dist, 1e-12)
+        return np.sum(w * neigh_y, axis=1) / np.sum(w, axis=1)

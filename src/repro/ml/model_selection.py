@@ -1,0 +1,148 @@
+"""Model selection: k-fold cross-validation and grid search.
+
+Section III-A: "The choice of the supervised-learning algorithm for
+building the surrogate performance model is crucial" and "should be
+driven by an exploratory analysis".  These utilities are that analysis:
+estimate a learner's generalization on the small ``Ta`` training sets
+the paper works with (100 points), and pick hyperparameters by grid
+search — all with deterministic fold assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.base import Regressor, check_Xy
+from repro.ml.metrics import r2_score, rmse
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import spearman
+
+__all__ = ["CvResult", "cross_validate", "GridSearchResult", "grid_search"]
+
+
+@dataclass(frozen=True)
+class CvResult:
+    """Per-fold generalization scores of one learner."""
+
+    r2: tuple[float, ...]
+    rmse: tuple[float, ...]
+    rank_correlation: tuple[float, ...]
+
+    @property
+    def n_folds(self) -> int:
+        return len(self.r2)
+
+    @property
+    def mean_r2(self) -> float:
+        return float(np.mean(self.r2))
+
+    @property
+    def mean_rmse(self) -> float:
+        return float(np.mean(self.rmse))
+
+    @property
+    def mean_rank_correlation(self) -> float:
+        """Mean held-out Spearman — the score that matters for biasing:
+        RSb only uses the model's *ranking* of the pool."""
+        return float(np.mean(self.rank_correlation))
+
+
+def _fold_indices(n: int, k: int, seed: object) -> list[np.ndarray]:
+    rng = spawn_rng("cv-folds", str(seed))
+    perm = rng.permutation(n)
+    return [perm[i::k] for i in range(k)]
+
+
+def cross_validate(
+    learner_factory: Callable[[], Regressor],
+    X,
+    y,
+    k: int = 5,
+    seed: object = 0,
+) -> CvResult:
+    """k-fold CV of a learner; a fresh model is fitted per fold."""
+    X, y = check_Xy(X, y)
+    n = X.shape[0]
+    if k < 2:
+        raise ModelError(f"need at least 2 folds, got {k}")
+    if n < k:
+        raise ModelError(f"cannot make {k} folds from {n} rows")
+    folds = _fold_indices(n, k, seed)
+    r2s, rmses, rhos = [], [], []
+    for held in folds:
+        mask = np.ones(n, dtype=bool)
+        mask[held] = False
+        model = learner_factory()
+        model.fit(X[mask], y[mask])
+        pred = model.predict(X[held])
+        r2s.append(r2_score(y[held], pred))
+        rmses.append(rmse(y[held], pred))
+        if len(held) >= 3 and np.std(pred) > 0 and np.std(y[held]) > 0:
+            rhos.append(spearman(y[held], pred))
+        else:
+            rhos.append(0.0)
+    return CvResult(r2=tuple(r2s), rmse=tuple(rmses), rank_correlation=tuple(rhos))
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """All grid points with their CV scores, best first."""
+
+    entries: tuple[tuple[dict, CvResult], ...]  # sorted by score, best first
+    scoring: str
+
+    @property
+    def best_params(self) -> dict:
+        return self.entries[0][0]
+
+    @property
+    def best_score(self) -> float:
+        return _score_of(self.entries[0][1], self.scoring)
+
+    def table(self) -> list[tuple[str, float]]:
+        return [
+            (", ".join(f"{k}={v}" for k, v in params.items()) or "(defaults)",
+             _score_of(cv, self.scoring))
+            for params, cv in self.entries
+        ]
+
+
+def _score_of(cv: CvResult, scoring: str) -> float:
+    if scoring == "r2":
+        return cv.mean_r2
+    if scoring == "rank":
+        return cv.mean_rank_correlation
+    if scoring == "neg_rmse":
+        return -cv.mean_rmse
+    raise ModelError(f"unknown scoring {scoring!r} (r2 | rank | neg_rmse)")
+
+
+def grid_search(
+    learner_factory: Callable[..., Regressor],
+    param_grid: Mapping[str, Sequence],
+    X,
+    y,
+    k: int = 5,
+    scoring: str = "rank",
+    seed: object = 0,
+) -> GridSearchResult:
+    """Exhaustive CV grid search over learner keyword arguments.
+
+    ``scoring='rank'`` (held-out Spearman) is the default because the
+    biasing strategy consumes only the model's ordering.
+    """
+    if not param_grid:
+        raise ModelError("empty parameter grid")
+    names = list(param_grid)
+    entries = []
+    for values in product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, values))
+        cv = cross_validate(lambda p=params: learner_factory(**p), X, y, k=k, seed=seed)
+        entries.append((params, cv))
+    entries.sort(key=lambda e: -_score_of(e[1], scoring))
+    return GridSearchResult(entries=tuple(entries), scoring=scoring)

@@ -1,0 +1,295 @@
+"""CART regression trees (the building block of the paper's surrogate).
+
+Section III-A: the input space is recursively partitioned into
+hyperrectangles; each leaf predicts the mean runtime of the training
+configurations that fall inside it (Figure 2 shows such a tree for the
+matrix-multiplication kernel).
+
+The implementation stores the tree in flat parallel arrays so that
+prediction over a 10,000-configuration pool (the paper's ``N``) is a
+handful of vectorized index operations rather than a Python recursion
+per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.base import Regressor, check_X, check_Xy
+
+__all__ = ["DecisionTreeRegressor", "TreeNodes"]
+
+_NO_CHILD = -1
+
+
+@dataclass
+class TreeNodes:
+    """Flat array representation of a fitted tree.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf.  For internal
+    nodes, rows with ``x[feature] <= threshold`` go to ``left``,
+    the rest to ``right``.
+    """
+
+    feature: np.ndarray  # (n_nodes,) int
+    threshold: np.ndarray  # (n_nodes,) float
+    left: np.ndarray  # (n_nodes,) int
+    right: np.ndarray  # (n_nodes,) int
+    value: np.ndarray  # (n_nodes,) float — mean target in the node
+    n_samples: np.ndarray  # (n_nodes,) int
+    impurity: np.ndarray  # (n_nodes,) float — within-node MSE
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    def is_leaf(self, i: int) -> bool:
+        return self.feature[i] == -1
+
+
+def _best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_ids: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, sse_after) over candidate features.
+
+    Uses the classic prefix-sum trick: with rows sorted by the feature,
+    the sum of left+right SSE for every split position comes from the
+    cumulative sums of ``y`` and ``y**2``.  Returns ``None`` if no valid
+    split exists (all candidate features constant, or leaf-size limits).
+    """
+    n = len(y)
+    best: tuple[int, float, float] | None = None
+    best_sse = np.inf
+    y_sum = y.sum()
+    y_sq_sum = float(np.dot(y, y))
+    for f in feature_ids:
+        col = X[:, f]
+        order = np.argsort(col, kind="stable")
+        xs = col[order]
+        ys = y[order]
+        # Candidate split after position i (1-based left size i+1).
+        csum = np.cumsum(ys)
+        csq = np.cumsum(ys * ys)
+        sizes_left = np.arange(1, n, dtype=float)
+        sum_left = csum[:-1]
+        sq_left = csq[:-1]
+        sum_right = y_sum - sum_left
+        sq_right = y_sq_sum - sq_left
+        sizes_right = n - sizes_left
+        sse = (sq_left - sum_left**2 / sizes_left) + (sq_right - sum_right**2 / sizes_right)
+        # Valid positions: value actually changes, and both sides large enough.
+        valid = xs[1:] > xs[:-1]
+        if min_samples_leaf > 1:
+            valid &= (sizes_left >= min_samples_leaf) & (sizes_right >= min_samples_leaf)
+        if not np.any(valid):
+            continue
+        sse = np.where(valid, sse, np.inf)
+        pos = int(np.argmin(sse))
+        if sse[pos] < best_sse - 1e-12:
+            best_sse = float(sse[pos])
+            threshold = 0.5 * (xs[pos] + xs[pos + 1])
+            # Guard against midpoint rounding onto the left value.
+            if threshold <= xs[pos]:
+                threshold = xs[pos + 1]
+            best = (int(f), float(threshold), best_sse)
+    return best
+
+
+class DecisionTreeRegressor(Regressor):
+    """CART regression tree with a vectorized split search.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum depth (root = depth 0); ``None`` grows until pure.
+    min_samples_split:
+        Smallest node size eligible for splitting.
+    min_samples_leaf:
+        Smallest allowed leaf size.
+    max_features:
+        Number of features examined per split: an int, a fraction in
+        (0, 1], ``"sqrt"``, ``"third"`` (the classic regression-forest
+        default p/3), or ``None`` for all features.
+    rng:
+        Generator used for feature subsampling (only consulted when
+        ``max_features`` restricts the candidate set).
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 0:
+            raise ModelError(f"max_depth must be >= 0, got {max_depth}")
+        if min_samples_split < 2:
+            raise ModelError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ModelError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.nodes: TreeNodes | None = None
+        self._importances: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _n_candidate_features(self, p: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return p
+        if isinstance(mf, str):
+            if mf == "sqrt":
+                return max(1, int(np.sqrt(p)))
+            if mf == "third":
+                return max(1, p // 3)
+            raise ModelError(f"unknown max_features spec {mf!r}")
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ModelError(f"fractional max_features must be in (0, 1], got {mf}")
+            return max(1, int(round(mf * p)))
+        k = int(mf)
+        if not 1 <= k <= p:
+            raise ModelError(f"max_features {k} out of range [1, {p}]")
+        return k
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X, y = check_Xy(X, y)
+        n, p = X.shape
+        k = self._n_candidate_features(p)
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        counts: list[int] = []
+        impurity: list[float] = []
+        importances = np.zeros(p)
+
+        def new_node(idx: np.ndarray) -> int:
+            node = len(feature)
+            ys = y[idx]
+            feature.append(-1)
+            threshold.append(np.nan)
+            left.append(_NO_CHILD)
+            right.append(_NO_CHILD)
+            value.append(float(ys.mean()))
+            counts.append(len(idx))
+            impurity.append(float(ys.var()))
+            return node
+
+        # Iterative depth-first growth with an explicit stack: recursion
+        # depth is unbounded for pathological data otherwise.
+        root_idx = np.arange(n)
+        stack = [(new_node(root_idx), root_idx, 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            ys = y[idx]
+            if (
+                len(idx) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.all(ys == ys[0])
+            ):
+                continue
+            if k < p:
+                cand = self.rng.choice(p, size=k, replace=False)
+            else:
+                cand = np.arange(p)
+            found = _best_split(X[idx], ys, cand, self.min_samples_leaf)
+            if found is None:
+                continue
+            f, thr, sse_after = found
+            sse_before = float(ys.var()) * len(idx)
+            importances[f] += max(0.0, sse_before - sse_after)
+            go_left = X[idx, f] <= thr
+            left_idx = idx[go_left]
+            right_idx = idx[~go_left]
+            if len(left_idx) == 0 or len(right_idx) == 0:  # pragma: no cover - guarded
+                continue
+            feature[node] = f
+            threshold[node] = thr
+            lchild = new_node(left_idx)
+            left[node] = lchild
+            stack.append((lchild, left_idx, depth + 1))
+            rchild = new_node(right_idx)
+            right[node] = rchild
+            stack.append((rchild, right_idx, depth + 1))
+
+        self.nodes = TreeNodes(
+            feature=np.array(feature, dtype=int),
+            threshold=np.array(threshold, dtype=float),
+            left=np.array(left, dtype=int),
+            right=np.array(right, dtype=int),
+            value=np.array(value, dtype=float),
+            n_samples=np.array(counts, dtype=int),
+            impurity=np.array(impurity, dtype=float),
+        )
+        total = importances.sum()
+        self._importances = importances / total if total > 0 else importances
+        self._n_features = p
+        return self
+
+    # ------------------------------------------------------------------
+    def apply(self, X) -> np.ndarray:
+        """Leaf index reached by each row of ``X``."""
+        p = self._require_fitted()
+        X = check_X(X, p)
+        nodes = self.nodes
+        assert nodes is not None
+        pos = np.zeros(X.shape[0], dtype=int)
+        active = nodes.feature[pos] != -1
+        while np.any(active):
+            cur = pos[active]
+            f = nodes.feature[cur]
+            thr = nodes.threshold[cur]
+            rows = np.flatnonzero(active)
+            go_left = X[rows, f] <= thr
+            nxt = np.where(go_left, nodes.left[cur], nodes.right[cur])
+            pos[rows] = nxt
+            active = nodes.feature[pos] != -1
+        return pos
+
+    def predict(self, X) -> np.ndarray:
+        nodes = self.nodes
+        if nodes is None:
+            self._require_fitted()
+        leaves = self.apply(X)
+        return self.nodes.value[leaves]  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        self._require_fitted()
+        assert self._importances is not None
+        return self._importances
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (root = 0)."""
+        self._require_fitted()
+        nodes = self.nodes
+        assert nodes is not None
+        depths = np.zeros(nodes.n_nodes, dtype=int)
+        # Children always appear after their parent in the arrays.
+        for i in range(nodes.n_nodes):
+            if nodes.feature[i] != -1:
+                depths[nodes.left[i]] = depths[i] + 1
+                depths[nodes.right[i]] = depths[i] + 1
+        return int(depths.max()) if nodes.n_nodes else 0
+
+    @property
+    def n_leaves(self) -> int:
+        self._require_fitted()
+        assert self.nodes is not None
+        return int(np.sum(self.nodes.feature == -1))

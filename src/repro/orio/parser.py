@@ -1,0 +1,266 @@
+"""Recursive-descent parser for the annotated-C kernel subset.
+
+Grammar (the subset the SPAPT kernels use)::
+
+    stmt    := for | assign
+    for     := 'for' '(' ID '=' expr ';' ID ('<'|'<=') expr ';' incr ')'
+               ( stmt | '{' stmt+ '}' )
+    incr    := ID '++' | ID '+=' INT
+    assign  := lvalue ('='|'+=') expr ';'
+    lvalue  := ID ('[' expr ']')*
+    expr    := add
+    add     := mul (('+'|'-') mul)*
+    mul     := unary (('*'|'/'|'%') unary)*
+    unary   := '-' unary | primary
+    primary := INT | ID ('[' expr ']')* | '(' expr ')'
+
+Problem-size symbols (``N`` etc.) are folded away at parse time through
+the ``consts`` mapping, so downstream passes see concrete integer
+bounds and pure-affine indices.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.errors import ParseError
+from repro.orio.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    IntLit,
+    Stmt,
+    Var,
+    fold,
+)
+
+__all__ = ["parse_statement", "parse_loop_nest", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|/\*(?:[^*]|\*(?!/))*\*/)
+  | (?P<num>\d+)
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<op>\+\+|\+=|<=|==|[-+*/%<>=;,()\[\]{}])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[_Token]:
+    """Lex the source into tokens, skipping whitespace and comments."""
+    tokens: list[_Token] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line)
+        text = m.group(0)
+        if m.lastgroup == "num":
+            tokens.append(_Token("num", text, line))
+        elif m.lastgroup == "id":
+            tokens.append(_Token("id", text, line))
+        elif m.lastgroup == "op":
+            tokens.append(_Token("op", text, line))
+        line += text.count("\n")
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], consts: Mapping[str, int]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.consts = dict(consts)
+
+    # -- token plumbing -------------------------------------------------
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _line(self) -> int:
+        tok = self._peek()
+        return tok.line if tok else (self.tokens[-1].line if self.tokens else 1)
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of input", self._line())
+        self.pos += 1
+        return tok
+
+    def _expect(self, text: str) -> _Token:
+        tok = self._next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line)
+        return tok
+
+    def _accept(self, text: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- expressions ----------------------------------------------------
+    def expression(self) -> Expr:
+        return self._additive()
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            tok = self._peek()
+            if tok is not None and tok.text in ("+", "-"):
+                self.pos += 1
+                left = BinOp(tok.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            tok = self._peek()
+            if tok is not None and tok.text in ("*", "/", "%"):
+                self.pos += 1
+                left = BinOp(tok.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self._accept("-"):
+            return BinOp("-", IntLit(0), self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self._next()
+        if tok.kind == "num":
+            return IntLit(int(tok.text))
+        if tok.kind == "id":
+            name = tok.text
+            indices: list[Expr] = []
+            while self._accept("["):
+                indices.append(self.expression())
+                self._expect("]")
+            if indices:
+                return ArrayRef(name, tuple(indices))
+            if name in self.consts:
+                return IntLit(int(self.consts[name]))
+            return Var(name)
+        if tok.text == "(":
+            e = self.expression()
+            self._expect(")")
+            return e
+        raise ParseError(f"unexpected token {tok.text!r} in expression", tok.line)
+
+    # -- statements -----------------------------------------------------
+    def statement(self) -> Stmt:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("expected a statement", self._line())
+        if tok.kind == "id" and tok.text == "for":
+            return self._for()
+        return self._assignment()
+
+    def _for(self) -> ForLoop:
+        start = self._expect("for")
+        self._expect("(")
+        var_tok = self._next()
+        if var_tok.kind != "id":
+            raise ParseError(f"expected loop variable, found {var_tok.text!r}", var_tok.line)
+        var = var_tok.text
+        self._expect("=")
+        lower = fold(self.expression(), self.consts)
+        self._expect(";")
+        cond_var = self._next()
+        if cond_var.kind != "id" or cond_var.text != var:
+            raise ParseError(
+                f"loop condition must test {var!r}, found {cond_var.text!r}", cond_var.line
+            )
+        cmp_tok = self._next()
+        if cmp_tok.text not in ("<", "<="):
+            raise ParseError(f"expected '<' or '<=', found {cmp_tok.text!r}", cmp_tok.line)
+        bound = fold(self.expression(), self.consts)
+        if cmp_tok.text == "<=":
+            bound = fold(BinOp("+", bound, IntLit(1)), self.consts)
+        self._expect(";")
+        inc_var = self._next()
+        if inc_var.kind != "id" or inc_var.text != var:
+            raise ParseError(
+                f"increment must update {var!r}, found {inc_var.text!r}", inc_var.line
+            )
+        op_tok = self._next()
+        if op_tok.text == "++":
+            step = 1
+        elif op_tok.text == "+=":
+            step_tok = self._next()
+            if step_tok.kind != "num":
+                raise ParseError(f"expected step constant, found {step_tok.text!r}", step_tok.line)
+            step = int(step_tok.text)
+        else:
+            raise ParseError(f"expected '++' or '+=', found {op_tok.text!r}", op_tok.line)
+        self._expect(")")
+        body: list[Stmt] = []
+        if self._accept("{"):
+            while not self._accept("}"):
+                if self._peek() is None:
+                    raise ParseError("unterminated '{' block", start.line)
+                body.append(self.statement())
+        else:
+            body.append(self.statement())
+        if not body:
+            raise ParseError(f"loop over {var!r} has an empty body", start.line)
+        return ForLoop(var=var, lower=lower, upper=bound, step=step, body=tuple(body))
+
+    def _assignment(self) -> Assign:
+        tok = self._next()
+        if tok.kind != "id":
+            raise ParseError(f"expected an lvalue, found {tok.text!r}", tok.line)
+        indices: list[Expr] = []
+        while self._accept("["):
+            indices.append(fold(self.expression(), self.consts))
+            self._expect("]")
+        target: ArrayRef | Var
+        target = ArrayRef(tok.text, tuple(indices)) if indices else Var(tok.text)
+        op_tok = self._next()
+        if op_tok.text not in ("=", "+="):
+            raise ParseError(f"expected '=' or '+=', found {op_tok.text!r}", op_tok.line)
+        value = fold(self.expression(), self.consts)
+        self._expect(";")
+        return Assign(target, value, op_tok.text)
+
+
+def parse_statement(source: str, consts: Mapping[str, int] | None = None) -> Stmt:
+    """Parse a single statement (usually the outermost ``for``)."""
+    parser = _Parser(tokenize(source), consts or {})
+    stmt = parser.statement()
+    if not parser.at_end():
+        tok = parser._peek()
+        assert tok is not None
+        raise ParseError(f"trailing input starting at {tok.text!r}", tok.line)
+    return stmt
+
+
+def parse_loop_nest(source: str, consts: Mapping[str, int] | None = None) -> ForLoop:
+    """Parse a statement and require it to be a ``for`` loop."""
+    stmt = parse_statement(source, consts)
+    if not isinstance(stmt, ForLoop):
+        raise ParseError("expected a for-loop at top level")
+    return stmt

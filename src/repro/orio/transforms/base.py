@@ -1,0 +1,97 @@
+"""Transform infrastructure: the pass interface and nest surgery helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import replace
+
+from repro.errors import TransformError
+from repro.orio.ast import ForLoop, Stmt
+
+__all__ = ["Transform", "find_loop", "replace_loop", "fresh_name", "collect_names"]
+
+
+class Transform(ABC):
+    """A loop transformation: a pure function from nest to nest."""
+
+    @abstractmethod
+    def apply(self, nest: ForLoop) -> ForLoop:
+        """Return the transformed nest; the input is never mutated."""
+
+    def __call__(self, nest: ForLoop) -> ForLoop:
+        return self.apply(nest)
+
+
+def find_loop(nest: ForLoop, var: str) -> ForLoop:
+    """The (unique) loop with induction variable ``var`` in the nest."""
+    found: list[ForLoop] = []
+
+    def walk(stmt: Stmt) -> None:
+        if isinstance(stmt, ForLoop):
+            if stmt.var == var:
+                found.append(stmt)
+            for s in stmt.body:
+                walk(s)
+
+    walk(nest)
+    if not found:
+        raise TransformError(f"no loop over {var!r} in the nest")
+    if len(found) > 1:
+        raise TransformError(f"loop variable {var!r} is not unique in the nest")
+    return found[0]
+
+
+def replace_loop(nest: ForLoop, var: str, replacement: Stmt | list[Stmt]) -> ForLoop:
+    """Replace the loop over ``var`` with new statement(s), rebuilding the
+    spine of the nest above it."""
+    new_stmts = replacement if isinstance(replacement, list) else [replacement]
+    hits = 0
+
+    def walk(stmt: Stmt) -> list[Stmt]:
+        nonlocal hits
+        if isinstance(stmt, ForLoop):
+            if stmt.var == var:
+                hits += 1
+                return list(new_stmts)
+            body: list[Stmt] = []
+            for s in stmt.body:
+                body.extend(walk(s))
+            return [stmt.with_body(body)]
+        return [stmt]
+
+    if isinstance(nest, ForLoop) and nest.var == var:
+        if len(new_stmts) != 1 or not isinstance(new_stmts[0], ForLoop):
+            raise TransformError("replacing the outermost loop requires a single loop")
+        return new_stmts[0]
+    result = walk(nest)
+    if hits == 0:
+        raise TransformError(f"no loop over {var!r} in the nest")
+    if hits > 1:
+        raise TransformError(f"loop variable {var!r} is not unique in the nest")
+    assert len(result) == 1 and isinstance(result[0], ForLoop)
+    return result[0]
+
+
+def collect_names(nest: ForLoop) -> set[str]:
+    """All loop-variable names appearing in the nest."""
+    names: set[str] = set()
+
+    def walk(stmt: Stmt) -> None:
+        if isinstance(stmt, ForLoop):
+            names.add(stmt.var)
+            for s in stmt.body:
+                walk(s)
+
+    walk(nest)
+    return names
+
+
+def fresh_name(base: str, taken: set[str]) -> str:
+    """A loop-variable name derived from ``base`` that avoids ``taken``."""
+    candidate = base
+    suffix = 2
+    while candidate in taken:
+        candidate = f"{base}{suffix}"
+        suffix += 1
+    taken.add(candidate)
+    return candidate

@@ -1,0 +1,92 @@
+"""Loop distribution (fission) of multi-statement bodies.
+
+Splits ``for (i) { S1; S2; }`` into ``for (i) S1; for (i) S2;`` —
+the enabling transformation for tiling/vectorizing fused kernels like
+BICG or GEMVER per-statement.
+
+Legality (conservative): statement order is preserved, so a
+distribution is safe when every cross-statement dependence through a
+shared array is *same-cell* — both statements touch the array with
+identical index expressions, meaning iteration ``i`` of the later
+statement consumes exactly what iteration ``i`` of the earlier one
+produced (already produced when the earlier loop ran to completion).
+Any shared array with at least one write and differing index
+expressions is rejected: the later statement might read a cell the
+earlier loop has already overwritten for a *different* iteration
+(the classic fission-breaking anti-dependence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from itertools import combinations
+
+from repro.errors import TransformError
+from repro.orio.ast import ArrayRef, Assign, BinOp, Expr, ForLoop, MaxExpr, MinExpr
+from repro.orio.transforms.base import Transform, find_loop, replace_loop
+
+__all__ = ["LoopDistribution", "distribution_legal"]
+
+
+def _accesses(stmt: Assign) -> list[tuple[ArrayRef, bool]]:
+    out: list[tuple[ArrayRef, bool]] = []
+    if isinstance(stmt.target, ArrayRef):
+        out.append((stmt.target, True))
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, ArrayRef):
+            out.append((e, False))
+        elif isinstance(e, (BinOp, MinExpr, MaxExpr)):
+            walk(e.left)
+            walk(e.right)
+
+    walk(stmt.value)
+    return out
+
+
+def distribution_legal(loop: ForLoop) -> bool:
+    """Whether the loop's statements can be distributed in order."""
+    stmts = loop.body
+    if any(not isinstance(s, Assign) for s in stmts):
+        return False  # nested control flow: out of scope
+    for s_a, s_b in combinations(stmts, 2):
+        acc_a = _accesses(s_a)  # type: ignore[arg-type]
+        acc_b = _accesses(s_b)  # type: ignore[arg-type]
+        for ref_a, write_a in acc_a:
+            for ref_b, write_b in acc_b:
+                if ref_a.name != ref_b.name or not (write_a or write_b):
+                    continue
+                if ref_a.indices != ref_b.indices:
+                    return False  # differing-cell dependence: unsafe
+    return True
+
+
+class LoopDistribution(Transform):
+    """Distribute the statements of the loop over ``var`` into separate
+    loops, preserving statement order."""
+
+    def __init__(self, var: str, force: bool = False) -> None:
+        self.var = var
+        self.force = force
+
+    def apply(self, nest: ForLoop) -> ForLoop:
+        loop = find_loop(nest, self.var)
+        if len(loop.body) < 2:
+            return nest
+        if loop.unroll != 1:
+            raise TransformError(
+                f"distribute {self.var!r} before applying unroll factors"
+            )
+        if not self.force and not distribution_legal(loop):
+            raise TransformError(
+                f"distributing loop {self.var!r} would break a cross-statement dependence"
+            )
+        pieces = [replace(loop, body=(stmt,)) for stmt in loop.body]
+        if loop is nest:
+            raise TransformError(
+                "cannot distribute the outermost loop in place; wrap it in a nest"
+            )
+        return replace_loop(nest, self.var, pieces)
+
+    def __repr__(self) -> str:
+        return f"LoopDistribution({self.var!r})"

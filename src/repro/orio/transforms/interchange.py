@@ -1,0 +1,190 @@
+"""Loop interchange (permutation of a perfect nest).
+
+Orio's Composite also supports ``permut``; this pass reorders the loops
+of a perfect nest.  Interchange is only *legal* when it does not
+reverse any dependence, so the pass includes a conservative dependence
+test for the affine, constant-offset accesses our kernels use:
+
+* Two references to the same array conflict when one of them writes.
+* For constant-distance dependences (e.g. ``A[i][j]`` vs
+  ``A[i-1][j+1]``), the direction vector per loop is the sign of the
+  distance; a permutation is legal iff every dependence's permuted
+  direction vector stays lexicographically non-negative.
+* Variable-distance dependences (LU's ``A[i][k]`` vs ``A[i][j]``,
+  where the distance depends on loop values) make every loop-pair
+  swap that spans them illegal — the conservative answer.
+
+The interpreter-based tests exercise both the legality verdicts and
+the semantics of accepted permutations.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import TransformError
+from repro.orio.ast import (
+    ArrayRef,
+    Assign,
+    ForLoop,
+    affine_coefficients,
+    loop_chain,
+    walk_exprs,
+)
+from repro.orio.transforms.base import Transform
+
+__all__ = ["Interchange", "interchange_legal", "dependence_directions"]
+
+
+def _references(body) -> list[tuple[ArrayRef, bool]]:
+    refs: list[tuple[ArrayRef, bool]] = []
+    for stmt in body:
+        if not isinstance(stmt, Assign):
+            raise TransformError("interchange requires straight-line loop bodies")
+        if isinstance(stmt.target, ArrayRef):
+            refs.append((stmt.target, True))
+
+        def walk(e) -> None:
+            if isinstance(e, ArrayRef):
+                refs.append((e, False))
+            elif hasattr(e, "left"):
+                walk(e.left)
+                walk(e.right)
+
+        walk(stmt.value)
+    return refs
+
+
+def dependence_directions(nest: ForLoop) -> list[tuple[int, ...]] | None:
+    """Direction vectors of all (potential) dependences in the nest.
+
+    Each vector has one entry per loop (outermost first): -1, 0 or +1
+    (the sign of the constant dependence distance along that loop).
+    Returns ``None`` when a dependence with *variable* distance exists
+    — the conservative "don't touch anything" verdict.
+    """
+    chain = loop_chain(nest)
+    loop_vars = [l.var for l in chain]
+    body = chain[-1].body
+    refs = _references(body)
+    vectors: list[tuple[int, ...]] = []
+    for (ref_a, write_a), (ref_b, write_b) in combinations(refs, 2):
+        if ref_a.name != ref_b.name or not (write_a or write_b):
+            continue
+        if len(ref_a.indices) != len(ref_b.indices):
+            return None  # shape confusion: be conservative
+        # Compute per-dimension distance; must be constant.
+        distance: dict[str, int] = {v: 0 for v in loop_vars}
+        constant = True
+        aliases = True
+        for ia, ib in zip(ref_a.indices, ref_b.indices):
+            ca, ka = affine_coefficients(ia, loop_vars)
+            cb, kb = affine_coefficients(ib, loop_vars)
+            if ca != cb:
+                constant = False
+                break
+            # Same linear part: the constant offset is delinearized over
+            # the dimension's variables greedily (largest coefficient
+            # first, rounding to the nearest multiple — the canonical
+            # decomposition for in-bounds flattened indices).
+            offset = kb - ka
+            if offset == 0:
+                continue
+            remainder = offset
+            for var, coef in sorted(ca.items(), key=lambda vc: -abs(vc[1])):
+                step = round(remainder / coef)
+                distance[var] += step
+                remainder -= step * coef
+            if remainder != 0:
+                aliases = False  # offsets never line up: no dependence
+                break
+        if not constant:
+            return None
+        if not aliases:
+            continue
+        vector = list(
+            (0 if distance[v] == 0 else (1 if distance[v] > 0 else -1))
+            for v in loop_vars
+        )
+        if any(vector):
+            # Canonicalize: dependences flow forward in execution order,
+            # so the leading nonzero entry must be positive.
+            for entry in vector:
+                if entry < 0:
+                    vector = [-e for e in vector]
+                    break
+                if entry > 0:
+                    break
+            vectors.append(tuple(vector))
+    return vectors
+
+
+def interchange_legal(nest: ForLoop, order: list[str]) -> bool:
+    """Whether permuting the nest's loops into ``order`` is legal."""
+    chain = loop_chain(nest)
+    loop_vars = [l.var for l in chain]
+    if sorted(order) != sorted(loop_vars):
+        raise TransformError(
+            f"order {order} is not a permutation of the nest's loops {loop_vars}"
+        )
+    vectors = dependence_directions(nest)
+    if vectors is None:
+        return order == loop_vars  # only the identity is safely legal
+    perm = [loop_vars.index(v) for v in order]
+    for vector in vectors:
+        permuted = [vector[i] for i in perm]
+        # Lexicographic sign must remain non-negative.
+        for entry in permuted:
+            if entry > 0:
+                break
+            if entry < 0:
+                return False
+    return True
+
+
+class Interchange(Transform):
+    """Permute a perfect nest's loops into the given variable order."""
+
+    def __init__(self, order: list[str], force: bool = False) -> None:
+        self.order = list(order)
+        self.force = force
+
+    def apply(self, nest: ForLoop) -> ForLoop:
+        chain = loop_chain(nest)
+        loop_vars = [l.var for l in chain]
+        if self.order == loop_vars:
+            return nest
+        if not self.force and not interchange_legal(nest, self.order):
+            raise TransformError(
+                f"interchange to {self.order} would violate a dependence"
+            )
+        # Interchange also requires rectangular (independent) bounds:
+        # a loop may not use another chain variable in its bounds.
+        by_var = {l.var: l for l in chain}
+        chain_set = set(loop_vars)
+        for loop in chain:
+            free = set()
+            for expr in (loop.lower, loop.upper):
+                stack = [expr]
+                while stack:
+                    e = stack.pop()
+                    if hasattr(e, "name") and not hasattr(e, "indices"):
+                        free.add(e.name)
+                    if hasattr(e, "left"):
+                        stack.extend((e.left, e.right))
+            if free & chain_set and not self.force:
+                raise TransformError(
+                    f"loop {loop.var!r} has bounds depending on {sorted(free & chain_set)}; "
+                    "cannot safely interchange a non-rectangular nest"
+                )
+        body = chain[-1].body
+        result: tuple = body
+        for var in reversed(self.order):
+            loop = by_var[var]
+            result = (loop.with_body(result),)
+        out = result[0]
+        assert isinstance(out, ForLoop)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Interchange({self.order!r})"

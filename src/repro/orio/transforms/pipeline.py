@@ -1,0 +1,127 @@
+"""Composite transformation (Orio's ``Composite``): tile, then register-
+tile, then unroll-and-jam, driven by one configuration of the tuning
+parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import TransformError
+from repro.orio.annotations import TransformSpec
+from repro.orio.ast import ForLoop
+from repro.orio.transforms.regtile import RegisterTile
+from repro.orio.transforms.tile import tile_nest
+from repro.orio.transforms.unroll import UnrollJam
+
+__all__ = ["TransformPlan", "TransformedVariant", "compose"]
+
+
+@dataclass(frozen=True)
+class TransformPlan:
+    """Concrete transformation factors for one configuration."""
+
+    tile: Mapping[str, int] = field(default_factory=dict)  # loop var -> T
+    regtile: Mapping[str, int] = field(default_factory=dict)  # loop var -> RT
+    unroll: Mapping[str, int] = field(default_factory=dict)  # loop var -> U
+    scalars: Mapping[str, object] = field(default_factory=dict)  # option -> value
+
+    @classmethod
+    def from_spec(cls, spec: TransformSpec, config: Mapping[str, object]) -> "TransformPlan":
+        """Bind a kernel's :class:`TransformSpec` to configuration values.
+
+        Parameters referenced by the spec but absent from ``config``
+        are an error; extra configuration keys are ignored (they may
+        drive other nests of the same kernel or non-loop options).
+        """
+
+        def bind(pairs) -> dict[str, int]:
+            out = {}
+            for var, param in pairs:
+                if param not in config:
+                    raise TransformError(f"configuration missing parameter {param!r}")
+                out[var] = int(config[param])  # type: ignore[call-overload]
+            return out
+
+        scalars = {}
+        for option, param in spec.scalars.items():
+            if param not in config:
+                raise TransformError(f"configuration missing parameter {param!r}")
+            scalars[option] = config[param]
+        return cls(
+            tile=bind(spec.tile),
+            regtile=bind(spec.regtile),
+            unroll=bind(spec.unrolljam),
+            scalars=scalars,
+        )
+
+
+@dataclass(frozen=True)
+class TransformedVariant:
+    """A transformed nest plus the roles of its loops.
+
+    ``roles`` maps each loop variable in the transformed nest to a
+    ``(role, original_var)`` pair with role in ``{"tile", "strip",
+    "point"}``.
+    """
+
+    nest: ForLoop
+    plan: TransformPlan
+    roles: Mapping[str, tuple[str, str]]
+
+
+def compose(nest: ForLoop, plan: TransformPlan) -> TransformedVariant:
+    """Apply cache tiling, register tiling and unroll-and-jam in order.
+
+    The unroll factor for a register-tiled variable targets its strip
+    loop (jamming whole register blocks); otherwise it targets the
+    point loop directly.
+    """
+    original_vars = set(plan.tile) | set(plan.regtile) | set(plan.unroll)
+    roles: dict[str, tuple[str, str]] = {}
+
+    # 1. Cache tiling (may introduce <var>t loops).
+    before = {v for v in _loop_vars(nest)}
+    result = tile_nest(nest, dict(plan.tile))
+    for v in _loop_vars(result):
+        if v in before:
+            roles[v] = ("point", v)
+        else:
+            roles[v] = ("tile", _strip_suffix(v, "t", before))
+
+    # 2. Register tiling (may introduce <var>r strip loops).
+    unroll_target = {v: v for v in original_vars}
+    for var, rt in plan.regtile.items():
+        transform = RegisterTile(var, rt)
+        result = transform.apply(result)
+        if transform.strip_var is not None:
+            roles[transform.strip_var] = ("strip", var)
+            unroll_target[var] = transform.strip_var
+
+    # 3. Unroll-and-jam.
+    for var, u in plan.unroll.items():
+        if u > 1:
+            result = UnrollJam(unroll_target[var], u).apply(result)
+
+    return TransformedVariant(nest=result, plan=plan, roles=roles)
+
+
+def _loop_vars(nest: ForLoop) -> list[str]:
+    out: list[str] = []
+    stack: list = [nest]
+    while stack:
+        s = stack.pop()
+        if isinstance(s, ForLoop):
+            out.append(s.var)
+            stack.extend(s.body)
+    return out
+
+
+def _strip_suffix(name: str, suffix: str, known: set[str]) -> str:
+    """Recover the original variable from a generated tile-loop name."""
+    base = name.rstrip("0123456789")
+    if base.endswith(suffix):
+        candidate = base[: -len(suffix)]
+        if candidate in known:
+            return candidate
+    return name

@@ -1,0 +1,80 @@
+"""Register tiling (Table I, row 3).
+
+Strip-mines a loop by a small factor ``RT`` and *fully unrolls* the
+resulting point loop, so the RT-wide block of iterations is live in
+registers simultaneously (cache-to-register blocking)::
+
+    for (ir = lo; ir < hi; ir += RT)          // strip loop
+      for (i = ir; i < min(ir + RT, hi); i++)  // fully unrolled
+        ...
+
+The strip loop keeps a derived name (``ir``); :func:`~repro.orio
+.transforms.pipeline.compose` directs any unroll-and-jam for the same
+original variable at the strip loop, mirroring Orio's Composite
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import TransformError
+from repro.orio.ast import BinOp, ForLoop, IntLit, MinExpr, Var, fold
+from repro.orio.transforms.base import (
+    Transform,
+    collect_names,
+    find_loop,
+    fresh_name,
+    replace_loop,
+)
+
+__all__ = ["RegisterTile"]
+
+
+class RegisterTile(Transform):
+    """Register-tile the loop over ``var`` by ``factor``.
+
+    After :meth:`apply`, :attr:`strip_var` holds the name of the new
+    strip loop (or ``None`` when the transform was a no-op).
+    """
+
+    def __init__(self, var: str, factor: int) -> None:
+        if factor < 1:
+            raise TransformError(f"register-tile factor must be >= 1, got {factor}")
+        self.var = var
+        self.factor = factor
+        self.strip_var: str | None = None
+
+    def apply(self, nest: ForLoop) -> ForLoop:
+        if self.factor == 1:
+            self.strip_var = None
+            return nest
+        loop = find_loop(nest, self.var)
+        if loop.unroll != 1:
+            raise TransformError(
+                f"cannot register-tile {self.var!r}: loop already unrolled"
+            )
+        taken = collect_names(nest)
+        strip = fresh_name(f"{self.var}r", taken)
+        span = self.factor * loop.step
+        point = ForLoop(
+            var=self.var,
+            lower=Var(strip),
+            upper=MinExpr(fold(BinOp("+", Var(strip), IntLit(span))), loop.upper),
+            step=loop.step,
+            body=loop.body,
+            unroll=self.factor,  # fully unrolled register block
+        )
+        strip_loop = ForLoop(
+            var=strip,
+            lower=loop.lower,
+            upper=loop.upper,
+            step=span,
+            body=(point,),
+            pragmas=loop.pragmas,
+        )
+        self.strip_var = strip
+        return replace_loop(nest, self.var, strip_loop)
+
+    def __repr__(self) -> str:
+        return f"RegisterTile({self.var!r}, {self.factor})"

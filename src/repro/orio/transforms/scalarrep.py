@@ -1,0 +1,147 @@
+"""Scalar replacement (register promotion of reduction targets).
+
+The SPAPT problems expose an ``SCR`` switch; its effect is keeping a
+loop-invariant read-modify-write array reference (MM's ``C[i*N+j]``
+inside the k loop, ATAX's ``t[i]`` inside the j loop) in a scalar for
+the duration of the innermost loop::
+
+    for (k = ...)                      double s0 = C[i*N+j];
+      C[i*N+j] = C[i*N+j] + ...   =>   for (k = ...)
+                                         s0 = s0 + ...;
+                                       C[i*N+j] = s0;
+
+The cost model accounts for SCR analytically; this pass implements the
+*actual program transformation* for the code-generation path, verified
+semantics-preserving by the interpreter tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import TransformError
+from repro.orio.ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    MaxExpr,
+    MinExpr,
+    Stmt,
+    Var,
+    loop_chain,
+)
+from repro.orio.transforms.base import Transform, collect_names
+
+__all__ = ["ScalarReplacement", "replaceable_targets"]
+
+
+def _uses_var(expr: Expr, var: str) -> bool:
+    if isinstance(expr, Var):
+        return expr.name == var
+    if isinstance(expr, (BinOp, MinExpr, MaxExpr)):
+        return _uses_var(expr.left, var) or _uses_var(expr.right, var)
+    if isinstance(expr, ArrayRef):
+        return any(_uses_var(i, var) for i in expr.indices)
+    return False
+
+
+def _replace_ref(expr: Expr, ref: ArrayRef, scalar: Var) -> Expr:
+    if expr == ref:
+        return scalar
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _replace_ref(expr.left, ref, scalar),
+                     _replace_ref(expr.right, ref, scalar))
+    if isinstance(expr, MinExpr):
+        return MinExpr(_replace_ref(expr.left, ref, scalar),
+                       _replace_ref(expr.right, ref, scalar))
+    if isinstance(expr, MaxExpr):
+        return MaxExpr(_replace_ref(expr.left, ref, scalar),
+                       _replace_ref(expr.right, ref, scalar))
+    return expr
+
+
+def replaceable_targets(loop: ForLoop) -> list[ArrayRef]:
+    """Array references promotable to scalars across ``loop``.
+
+    A target qualifies when (a) it is the target of an assignment in
+    the loop body, (b) its index does not involve the loop variable
+    (same location every iteration), and (c) no *other* statement in
+    the body writes to the same array (which could alias).
+    """
+    targets = []
+    written_arrays: dict[str, int] = {}
+    for stmt in loop.body:
+        if isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef):
+            written_arrays[stmt.target.name] = written_arrays.get(stmt.target.name, 0) + 1
+    for stmt in loop.body:
+        if not isinstance(stmt, Assign) or not isinstance(stmt.target, ArrayRef):
+            continue
+        ref = stmt.target
+        if any(_uses_var(i, loop.var) for i in ref.indices):
+            continue
+        if written_arrays[ref.name] > 1:
+            continue  # conservative: another write to the array may alias
+        targets.append(ref)
+    return targets
+
+
+class ScalarReplacement(Transform):
+    """Promote innermost-loop-invariant reduction targets to scalars."""
+
+    def __init__(self, prefix: str = "scr") -> None:
+        self.prefix = prefix
+        self.n_replaced = 0
+
+    def apply(self, nest: ForLoop) -> ForLoop:
+        chain = loop_chain(nest)
+        innermost = chain[-1]
+        targets = replaceable_targets(innermost)
+        self.n_replaced = len(targets)
+        if not targets:
+            return nest
+        taken = collect_names(nest)
+        scalars: dict[ArrayRef, Var] = {}
+        for i, ref in enumerate(targets):
+            name = f"{self.prefix}{i}"
+            while name in taken:
+                name += "_"
+            taken.add(name)
+            scalars[ref] = Var(name)
+
+        new_body: list[Stmt] = []
+        for stmt in innermost.body:
+            if isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef) and stmt.target in scalars:
+                scalar = scalars[stmt.target]
+                new_body.append(
+                    Assign(scalar, _replace_ref(stmt.value, stmt.target, scalar), stmt.op)
+                )
+            elif isinstance(stmt, Assign):
+                value = stmt.value
+                for ref, scalar in scalars.items():
+                    value = _replace_ref(value, ref, scalar)
+                new_body.append(Assign(stmt.target, value, stmt.op))
+            else:  # pragma: no cover - innermost bodies are straight-line
+                raise TransformError("scalar replacement requires straight-line bodies")
+
+        pre = [Assign(scalar, ref) for ref, scalar in scalars.items()]
+        post = [Assign(ref, scalar) for ref, scalar in scalars.items()]
+        new_innermost = replace(innermost, body=tuple(new_body))
+        replacement: list[Stmt] = pre + [new_innermost] + post
+
+        # Rebuild the spine: the parent of the innermost loop gets the
+        # pre/loop/post sequence in place of the single loop.
+        if len(chain) == 1:
+            raise TransformError(
+                "cannot scalar-replace the outermost loop in place; wrap it in a nest"
+            )
+        result: list[Stmt] = replacement
+        for parent in reversed(chain[:-1]):
+            result = [parent.with_body(result)]
+        out = result[0]
+        assert isinstance(out, ForLoop)
+        return out
+
+    def __repr__(self) -> str:
+        return f"ScalarReplacement(prefix={self.prefix!r})"

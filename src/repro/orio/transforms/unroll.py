@@ -1,0 +1,147 @@
+"""Unroll-and-jam (Table I, row 1).
+
+:class:`UnrollJam` records the factor on the loop's ``unroll``
+attribute — semantically "replicate the body with induction offsets
+``0..(u-1)*step`` and step by ``u*step``, with a remainder loop".
+:func:`expand_unroll` materializes that semantics as plain loops, which
+is what the code generator emits and what the interpreter-based
+equivalence tests execute.  Keeping the factor symbolic until
+materialization lets the analyzer cost a ``32x32x32``-way unrolled nest
+without building its ~3e4-statement body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import TransformError
+from repro.orio.ast import (
+    BinOp,
+    ForLoop,
+    IntLit,
+    Stmt,
+    fold,
+    shift_var,
+)
+from repro.orio.transforms.base import Transform, find_loop, replace_loop
+
+__all__ = ["UnrollJam", "expand_unroll", "expand_all_unrolls", "materialized_statements"]
+
+
+class UnrollJam(Transform):
+    """Set the unroll-and-jam factor of the loop over ``var``."""
+
+    def __init__(self, var: str, factor: int) -> None:
+        if factor < 1:
+            raise TransformError(f"unroll factor must be >= 1, got {factor}")
+        self.var = var
+        self.factor = factor
+
+    def apply(self, nest: ForLoop) -> ForLoop:
+        if self.factor == 1:
+            return nest
+        loop = find_loop(nest, self.var)
+        if loop.unroll != 1:
+            raise TransformError(f"loop {self.var!r} already has an unroll factor")
+        return replace_loop(nest, self.var, replace(loop, unroll=self.factor))
+
+    def __repr__(self) -> str:
+        return f"UnrollJam({self.var!r}, {self.factor})"
+
+
+def expand_unroll(loop: ForLoop) -> list[Stmt]:
+    """Materialize one loop's unroll attribute as explicit statements.
+
+    Produces a main loop stepping ``u*step`` whose body is ``u`` shifted
+    copies of the original body, plus a remainder loop.  When the trip
+    count is constant and divisible by ``u``, the remainder is omitted;
+    with symbolic (min/max) bounds the remainder is always emitted, as a
+    compiler must.
+    """
+    u = loop.unroll
+    if u == 1:
+        return [loop]
+    base = replace(loop, unroll=1)
+
+    # Main loop: runs while the whole group of u iterations is in
+    # range, i.e. var + (u-1)*step < upper.
+    guard = fold(BinOp("-", loop.upper, IntLit((u - 1) * loop.step)))
+    copies: list[Stmt] = []
+    for k in range(u):
+        for stmt in base.body:
+            copies.append(shift_var(stmt, loop.var, k * loop.step))
+    main = ForLoop(
+        var=loop.var,
+        lower=loop.lower,
+        upper=guard,
+        step=u * loop.step,
+        body=tuple(copies),
+        pragmas=loop.pragmas,
+    )
+
+    # Remainder: picks up where the main loop stopped.  Since the IR has
+    # no loop-carried scalar for "where the main loop stopped", the
+    # remainder recomputes its start: lower + floor(trip/u)*u*step.  For
+    # constant bounds this folds to a constant; for symbolic bounds the
+    # materializer falls back to a conservative full-range tail guarded
+    # by the main loop having executed multiples of u only.
+    try:
+        trip = base.trip_count()
+    except TransformError:
+        trip = None
+    if trip is not None:
+        done = (trip // u) * u
+        if done == trip:
+            return [main] if trip > 0 else [main]
+        start = fold(BinOp("+", loop.lower, IntLit(done * loop.step)))
+        remainder = replace(base, lower=start, pragmas=())
+        return [main, remainder]
+    # Symbolic bounds: emit a remainder loop that starts at the first
+    # index not covered by the main loop.  Expressible in the IR via
+    # lower' = lower + ((upper - lower + step-1)/step // u)*u*step.
+    span = fold(BinOp("-", loop.upper, loop.lower))
+    trips = fold(BinOp("/", fold(BinOp("+", span, IntLit(loop.step - 1))), IntLit(loop.step)))
+    done_expr = fold(
+        BinOp("*", fold(BinOp("*", fold(BinOp("/", trips, IntLit(u))), IntLit(u))), IntLit(loop.step))
+    )
+    start = fold(BinOp("+", loop.lower, done_expr))
+    remainder = replace(base, lower=start, pragmas=())
+    return [main, remainder]
+
+
+def expand_all_unrolls(stmt: Stmt, max_statements: int = 100_000) -> list[Stmt]:
+    """Recursively materialize every unroll factor in a subtree.
+
+    ``max_statements`` guards against code-size explosion (a fully
+    transformed MM variant can exceed 10^4 statements); the size is
+    estimated analytically *before* expanding, so an oversized request
+    fails fast instead of exhausting memory.
+    """
+    estimate = materialized_statements(stmt)
+    if estimate > max_statements:
+        raise TransformError(
+            f"materialized variant would have ~{estimate} statements "
+            f"(limit {max_statements})"
+        )
+
+    def go(s: Stmt) -> list[Stmt]:
+        if not isinstance(s, ForLoop):
+            return [s]
+        body: list[Stmt] = []
+        for child in s.body:
+            body.extend(go(child))
+        return expand_unroll(s.with_body(body))
+
+    return go(stmt)
+
+
+def materialized_statements(stmt: Stmt) -> int:
+    """Statement count of the fully unroll-expanded subtree, computed
+    analytically (without materializing)."""
+    if not isinstance(stmt, ForLoop):
+        return 1
+    inner = sum(materialized_statements(s) for s in stmt.body)
+    if stmt.unroll == 1:
+        return inner + 1  # the loop header itself
+    # main loop body (u copies) + remainder loop body + two headers
+    return stmt.unroll * inner + inner + 2

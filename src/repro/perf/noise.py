@@ -1,0 +1,42 @@
+"""Deterministic noise models for simulated measurements.
+
+Two distinct effects, both reproducible (hash-keyed, no RNG state):
+
+* :func:`measurement_noise` — run-to-run timing jitter on one machine
+  (OS scheduling, DVFS, cache state).  Keyed by the repetition index,
+  so repeated measurements of the same variant differ, as on hardware.
+
+* :func:`machine_quirk` — a *systematic* per-(machine, configuration)
+  effect: alignment accidents, TLB/page-coloring interactions, branch-
+  predictor details that the analytic model does not capture.  Fixed
+  across repetitions, but independent between machines — this is the
+  model-irreducible part of cross-machine dissimilarity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.rng import hash_normal
+
+__all__ = ["measurement_noise", "machine_quirk"]
+
+
+def measurement_noise(sigma: float, machine: str, key: object, rep: int = 0) -> float:
+    """Multiplicative lognormal jitter for one timing run."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0.0:
+        return 1.0
+    z = hash_normal("measurement", machine, str(key), rep)
+    return math.exp(sigma * z)
+
+
+def machine_quirk(sigma: float, machine: str, key: object) -> float:
+    """Systematic per-(machine, configuration) multiplicative factor."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0.0:
+        return 1.0
+    z = hash_normal("quirk", machine, str(key))
+    return math.exp(sigma * z)

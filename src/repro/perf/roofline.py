@@ -1,0 +1,42 @@
+"""Roofline-model helpers (Williams, Waterman, Patterson 2009).
+
+The paper characterizes its kernels through the roofline lens: MM is
+compute bound, ATAX/COR/LU are memory-bandwidth bound (Section IV-C).
+These helpers express that relationship; the full cost model layers
+cache effects, overheads and machine responses on top.
+"""
+
+from __future__ import annotations
+
+__all__ = ["arithmetic_intensity", "roofline_time", "attainable_gflops"]
+
+
+def arithmetic_intensity(flops: float, dram_bytes: float) -> float:
+    """Flops per byte of DRAM traffic."""
+    if flops < 0 or dram_bytes < 0:
+        raise ValueError("flops and bytes must be non-negative")
+    if dram_bytes == 0:
+        return float("inf")
+    return flops / dram_bytes
+
+
+def attainable_gflops(
+    intensity: float, peak_gflops: float, bandwidth_gbs: float
+) -> float:
+    """The roofline: min(peak, intensity * bandwidth)."""
+    if peak_gflops <= 0 or bandwidth_gbs <= 0:
+        raise ValueError("peak and bandwidth must be positive")
+    if intensity < 0:
+        raise ValueError("intensity must be non-negative")
+    return min(peak_gflops, intensity * bandwidth_gbs)
+
+
+def roofline_time(
+    flops: float, dram_bytes: float, peak_flops_per_s: float, bandwidth_bytes_per_s: float
+) -> float:
+    """Execution time lower bound: max(compute time, memory time)."""
+    if peak_flops_per_s <= 0 or bandwidth_bytes_per_s <= 0:
+        raise ValueError("peak and bandwidth must be positive")
+    if flops < 0 or dram_bytes < 0:
+        raise ValueError("flops and bytes must be non-negative")
+    return max(flops / peak_flops_per_s, dram_bytes / bandwidth_bytes_per_s)

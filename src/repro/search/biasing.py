@@ -1,0 +1,72 @@
+"""Random search with the biasing strategy (Algorithm 2, RSb).
+
+Phase 1: fit the surrogate on source data and predict the runtimes of a
+pool of ``N`` random configurations.
+
+Phase 2: evaluate pool configurations on the target machine in
+ascending order of predicted runtime (``argmin`` selection with removal,
+as in Algorithm 2), for at most ``nmax`` evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BudgetExhaustedError, SearchError
+from repro.search.result import EvaluationRecord, SearchTrace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular at runtime: transfer imports the searches
+    from repro.transfer.surrogate import Surrogate
+from repro.searchspace.space import SearchSpace
+from repro.utils.rng import spawn_rng
+
+__all__ = ["biased_search"]
+
+
+def biased_search(
+    evaluator,
+    space: SearchSpace,
+    surrogate: "Surrogate",
+    nmax: int = 100,
+    pool_size: int = 10_000,
+    name: str = "RSb",
+) -> SearchTrace:
+    """Run RSb for at most ``nmax`` evaluations."""
+    if nmax < 1:
+        raise SearchError(f"nmax must be >= 1, got {nmax}")
+    if pool_size < 10:
+        raise SearchError(f"pool_size must be >= 10, got {pool_size}")
+
+    trace = SearchTrace(algorithm=name)
+    clock = evaluator.clock
+
+    try:
+        clock.advance(surrogate.fit_seconds)
+        pool_rng = spawn_rng("rsb-pool", space.name, name)
+        pool = space.sample(pool_rng, min(pool_size, space.cardinality))
+        predictions = surrogate.predict(pool)
+        clock.advance(surrogate.predict_seconds(len(pool)))
+    except BudgetExhaustedError:
+        trace.exhausted_budget = True
+        trace.total_elapsed = clock.now
+        return trace
+
+    order = np.argsort(predictions, kind="stable")
+    trace.metadata["pool_size"] = len(pool)
+    for rank, pool_idx in enumerate(order[:nmax]):
+        config = pool[int(pool_idx)]
+        try:
+            measurement = evaluator.evaluate(config)
+        except BudgetExhaustedError:
+            trace.exhausted_budget = True
+            break
+        trace.add(
+            EvaluationRecord(
+                config=config,
+                runtime=measurement.runtime_seconds,
+                elapsed=clock.now,
+            )
+        )
+    trace.total_elapsed = max(trace.total_elapsed, clock.now)
+    return trace

@@ -1,0 +1,96 @@
+"""Model-free control variants (Section IV-D).
+
+Both are restricted to the configurations the source machine actually
+evaluated (``Ta``), which is why the paper observes no *performance*
+speedups from them — they cannot discover anything RS did not already
+evaluate on the source:
+
+* **RSpf** — computes the cutoff ``∆`` directly from the source
+  runtimes (no model) and replays the source's evaluation order,
+  skipping configurations whose *source* runtime is above the cutoff.
+* **RSbf** — sorts the source configurations by source runtime and
+  evaluates them in that order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import BudgetExhaustedError, SearchError
+from repro.search.result import EvaluationRecord, SearchTrace
+from repro.searchspace.space import Configuration
+from repro.utils.stats import quantile
+
+__all__ = ["model_free_pruned_search", "model_free_biased_search"]
+
+
+def _check_training(training: Sequence[tuple[Configuration, float]]) -> None:
+    if not training:
+        raise SearchError("model-free variants need non-empty source data Ta")
+
+
+def model_free_pruned_search(
+    evaluator,
+    training: Sequence[tuple[Configuration, float]],
+    nmax: int = 100,
+    delta_percent: float = 20.0,
+    name: str = "RSpf",
+) -> SearchTrace:
+    """RSpf: threshold replay of the source machine's evaluations."""
+    _check_training(training)
+    if not 0.0 < delta_percent < 100.0:
+        raise SearchError(f"delta_percent must be in (0, 100), got {delta_percent}")
+    cutoff = quantile([y for _, y in training], delta_percent / 100.0)
+    trace = SearchTrace(algorithm=name)
+    trace.metadata["cutoff"] = cutoff
+    skipped = 0
+    for config, source_runtime in training:
+        if trace.n_evaluations >= nmax:
+            break
+        if source_runtime >= cutoff:
+            skipped += 1
+            continue
+        try:
+            measurement = evaluator.evaluate(config)
+        except BudgetExhaustedError:
+            trace.exhausted_budget = True
+            break
+        trace.add(
+            EvaluationRecord(
+                config=config,
+                runtime=measurement.runtime_seconds,
+                elapsed=evaluator.clock.now,
+                skipped_before=skipped,
+            )
+        )
+        skipped = 0
+    trace.total_elapsed = max(trace.total_elapsed, evaluator.clock.now)
+    return trace
+
+
+def model_free_biased_search(
+    evaluator,
+    training: Sequence[tuple[Configuration, float]],
+    nmax: int = 100,
+    name: str = "RSbf",
+) -> SearchTrace:
+    """RSbf: sorted replay of the source machine's evaluations."""
+    _check_training(training)
+    trace = SearchTrace(algorithm=name)
+    for config, _ in sorted(training, key=lambda pair: pair[1]):
+        if trace.n_evaluations >= nmax:
+            break
+        try:
+            measurement = evaluator.evaluate(config)
+        except BudgetExhaustedError:
+            trace.exhausted_budget = True
+            break
+        trace.add(
+            EvaluationRecord(
+                config=config,
+                runtime=measurement.runtime_seconds,
+                elapsed=evaluator.clock.now,
+            )
+        )
+    trace.total_elapsed = max(trace.total_elapsed, evaluator.clock.now)
+    return trace

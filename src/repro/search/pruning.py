@@ -1,0 +1,98 @@
+"""Random search with the pruning strategy (Algorithm 1, RSp).
+
+Phase 1: fit the surrogate on the source data, sample a pool of ``N``
+configurations, predict their runtimes, and set the cutoff ``∆`` to the
+``δ``-quantile of those predictions (δ = 20% in the paper).
+
+Phase 2: walk the (shared) random stream; predict each configuration's
+runtime; evaluate it on the target only when the prediction is below
+``∆``.  Model fitting/prediction time is charged to the search clock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BudgetExhaustedError, SearchError
+from repro.search.result import EvaluationRecord, SearchTrace
+from repro.search.stream import SharedStream
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # circular at runtime: transfer imports the searches
+    from repro.transfer.surrogate import Surrogate
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import quantile
+
+__all__ = ["pruned_search"]
+
+
+def pruned_search(
+    evaluator,
+    stream: SharedStream,
+    surrogate: "Surrogate",
+    nmax: int = 100,
+    pool_size: int = 10_000,
+    delta_percent: float = 20.0,
+    max_stream_positions: int | None = None,
+    name: str = "RSp",
+) -> SearchTrace:
+    """Run RSp for at most ``nmax`` evaluations.
+
+    ``surrogate`` must already be fitted on the source machine's data
+    (its fit time is charged here, since the fit happens as part of the
+    target-machine tuning session).  ``max_stream_positions`` bounds
+    how far past the budget the stream may be walked when almost
+    everything is pruned (default: ``50 * nmax``).
+    """
+    if nmax < 1:
+        raise SearchError(f"nmax must be >= 1, got {nmax}")
+    if not 0.0 < delta_percent < 100.0:
+        raise SearchError(f"delta_percent must be in (0, 100), got {delta_percent}")
+    if pool_size < 10:
+        raise SearchError(f"pool_size must be >= 10, got {pool_size}")
+    if max_stream_positions is None:
+        max_stream_positions = 50 * nmax
+
+    space = stream.space
+    trace = SearchTrace(algorithm=name)
+    clock = evaluator.clock
+
+    # Phase 1: cutoff from the δ% quantile of pool predictions.
+    try:
+        clock.advance(surrogate.fit_seconds)
+        pool_rng = spawn_rng("rsp-pool", space.name, name)
+        pool = space.sample(pool_rng, min(pool_size, space.cardinality))
+        predictions = surrogate.predict(pool)
+        clock.advance(surrogate.predict_seconds(len(pool)))
+    except BudgetExhaustedError:
+        trace.exhausted_budget = True
+        trace.total_elapsed = clock.now
+        return trace
+    cutoff = quantile(predictions, delta_percent / 100.0)
+    trace.metadata["cutoff"] = cutoff
+
+    # Phase 2: walk the shared stream, evaluating only promising configs.
+    skipped = 0
+    position = 0
+    while trace.n_evaluations < nmax and position < max_stream_positions:
+        config = stream[position]
+        position += 1
+        try:
+            clock.advance(surrogate.predict_seconds(1))
+            if surrogate.predict_one(config) >= cutoff:
+                skipped += 1
+                continue
+            measurement = evaluator.evaluate(config)
+        except BudgetExhaustedError:
+            trace.exhausted_budget = True
+            break
+        trace.add(
+            EvaluationRecord(
+                config=config,
+                runtime=measurement.runtime_seconds,
+                elapsed=clock.now,
+                skipped_before=skipped,
+            )
+        )
+        skipped = 0
+    trace.metadata["stream_positions"] = position
+    trace.total_elapsed = max(trace.total_elapsed, clock.now)
+    return trace

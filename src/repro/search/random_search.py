@@ -1,0 +1,52 @@
+"""Random search without replacement (RS) — the paper's baseline.
+
+Configurations are drawn uniformly without replacement (each remaining
+configuration has probability ``1/(|D|-k+1)`` at iteration ``k``,
+Section II) and evaluated until the evaluation budget ``nmax`` is
+reached or the simulated time budget runs out.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BudgetExhaustedError, SearchError
+from repro.search.result import EvaluationRecord, SearchTrace
+from repro.search.stream import SharedStream
+
+__all__ = ["random_search"]
+
+
+def random_search(
+    evaluator,
+    stream: SharedStream,
+    nmax: int = 100,
+    name: str = "RS",
+) -> SearchTrace:
+    """Run RS for at most ``nmax`` evaluations.
+
+    ``evaluator`` is an :class:`~repro.orio.evaluator.OrioEvaluator`-
+    like object whose ``evaluate(config)`` returns a measurement with
+    ``runtime_seconds`` and whose ``clock`` tracks elapsed search time.
+    ``stream`` supplies the (shared) random configuration order.
+
+    A :class:`~repro.errors.BudgetExhaustedError` from the evaluator
+    ends the search early with ``exhausted_budget=True`` — the paper's
+    X-Gene experience, where full data collection was impossible.
+    """
+    if nmax < 1:
+        raise SearchError(f"nmax must be >= 1, got {nmax}")
+    trace = SearchTrace(algorithm=name)
+    for k in range(nmax):
+        config = stream[k]
+        try:
+            measurement = evaluator.evaluate(config)
+        except BudgetExhaustedError:
+            trace.exhausted_budget = True
+            break
+        trace.add(
+            EvaluationRecord(
+                config=config,
+                runtime=measurement.runtime_seconds,
+                elapsed=evaluator.clock.now,
+            )
+        )
+    return trace

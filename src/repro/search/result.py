@@ -1,0 +1,100 @@
+"""Search traces: what a search evaluated, when, and how good it was."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.searchspace.space import Configuration
+
+__all__ = ["EvaluationRecord", "SearchTrace"]
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One evaluated configuration within a search."""
+
+    config: Configuration
+    runtime: float  # measured objective (seconds)
+    elapsed: float  # simulated search time when this evaluation completed
+    skipped_before: int = 0  # configurations skipped since the previous record
+
+
+@dataclass
+class SearchTrace:
+    """The complete history of one search run."""
+
+    algorithm: str
+    records: list[EvaluationRecord] = field(default_factory=list)
+    total_elapsed: float = 0.0  # includes trailing overhead after last evaluation
+    exhausted_budget: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    def add(self, record: EvaluationRecord) -> None:
+        if self.records and record.elapsed < self.records[-1].elapsed:
+            raise SearchError("evaluation records must be time-ordered")
+        self.records.append(record)
+        self.total_elapsed = max(self.total_elapsed, record.elapsed)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.records)
+
+    def best(self) -> EvaluationRecord:
+        """The best-performing evaluated configuration."""
+        if not self.records:
+            raise SearchError(f"{self.algorithm}: no evaluations recorded")
+        return min(self.records, key=lambda r: r.runtime)
+
+    @property
+    def best_runtime(self) -> float:
+        return self.best().runtime
+
+    def time_of_best(self) -> float:
+        """Elapsed search time at which the final best was first found."""
+        return self.best().elapsed
+
+    def time_to_reach(self, runtime: float) -> float | None:
+        """Elapsed time when a config with runtime <= ``runtime`` was
+        first evaluated, or ``None`` if the search never got there."""
+        for r in self.records:
+            if r.runtime <= runtime:
+                return r.elapsed
+        return None
+
+    def best_so_far(self) -> tuple[np.ndarray, np.ndarray]:
+        """Step-curve arrays: (elapsed times, best runtime at each).
+
+        Only improvement points are returned (the classic search
+        progress curve of Figures 3-5).
+        """
+        times: list[float] = []
+        bests: list[float] = []
+        cur = float("inf")
+        for r in self.records:
+            if r.runtime < cur:
+                cur = r.runtime
+                times.append(r.elapsed)
+                bests.append(cur)
+        return np.asarray(times), np.asarray(bests)
+
+    def runtimes(self) -> np.ndarray:
+        return np.asarray([r.runtime for r in self.records])
+
+    def configs(self) -> list[Configuration]:
+        return [r.config for r in self.records]
+
+    def training_data(self) -> list[tuple[Configuration, float]]:
+        """The (x_i, y_i) pairs of Section III — surrogate training data."""
+        return [(r.config, r.runtime) for r in self.records]
+
+    def __repr__(self) -> str:
+        if not self.records:
+            return f"SearchTrace({self.algorithm!r}, empty)"
+        return (
+            f"SearchTrace({self.algorithm!r}, n={self.n_evaluations}, "
+            f"best={self.best_runtime:.4g}s, elapsed={self.total_elapsed:.4g}s)"
+        )

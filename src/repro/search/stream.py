@@ -1,0 +1,65 @@
+"""Common-random-numbers configuration streams (Section IV-D).
+
+The paper reduces variance by running every algorithm against the same
+random draw: RS on the source machine, RS on the target, and RSp on the
+target all evaluate configurations *in the same order*; RSp merely
+skips some.  A :class:`SharedStream` is that order — a lazily extended,
+duplicate-free sequence of uniformly sampled configurations from one
+seeded generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.searchspace.space import Configuration, SearchSpace
+from repro.utils.rng import spawn_rng
+
+__all__ = ["SharedStream"]
+
+
+class SharedStream:
+    """A reproducible, duplicate-free configuration sequence."""
+
+    def __init__(self, space: SearchSpace, seed: object = 0, batch: int = 64) -> None:
+        if batch < 1:
+            raise SearchError(f"batch must be >= 1, got {batch}")
+        self.space = space
+        self._rng: np.random.Generator = spawn_rng("shared-stream", space.name, str(seed))
+        self._batch = batch
+        self._configs: list[Configuration] = []
+        self._seen: set[int] = set()
+
+    def _extend(self, upto: int) -> None:
+        while len(self._configs) < upto:
+            remaining = self.space.cardinality - len(self._seen)
+            if remaining == 0:
+                raise SearchError(
+                    f"stream exhausted the whole space ({self.space.cardinality} configs)"
+                )
+            want = min(self._batch, remaining, upto - len(self._configs) + self._batch)
+            indices = self.space.sample_indices(self._rng, min(want, remaining), self._seen)
+            for i in indices:
+                self._seen.add(i)
+                self._configs.append(self.space.config_at(i))
+
+    def __getitem__(self, position: int) -> Configuration:
+        if position < 0:
+            raise SearchError("stream positions are non-negative")
+        self._extend(position + 1)
+        return self._configs[position]
+
+    def prefix(self, n: int) -> list[Configuration]:
+        """The first ``n`` configurations."""
+        self._extend(n)
+        return list(self._configs[:n])
+
+    def __iter__(self):
+        position = 0
+        while True:
+            try:
+                yield self[position]
+            except SearchError:
+                return
+            position += 1

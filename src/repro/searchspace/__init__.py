@@ -1,0 +1,28 @@
+"""Tunable-parameter spaces.
+
+A :class:`SearchSpace` is an ordered collection of named, finite
+parameters (Table I of the paper: loop unrolling factors, cache-tile and
+register-tile sizes; plus booleans and enums for the mini-applications).
+It provides a bijection between configurations and integers in
+``[0, |D|)``, uniform sampling without replacement over astronomically
+large spaces, and a numeric encoding for the surrogate models.
+"""
+
+from repro.searchspace.parameters import (
+    Parameter,
+    IntegerParameter,
+    PowerOfTwoParameter,
+    BooleanParameter,
+    EnumParameter,
+)
+from repro.searchspace.space import Configuration, SearchSpace
+
+__all__ = [
+    "Parameter",
+    "IntegerParameter",
+    "PowerOfTwoParameter",
+    "BooleanParameter",
+    "EnumParameter",
+    "Configuration",
+    "SearchSpace",
+]

@@ -1,0 +1,20 @@
+"""Cross-machine transfer autotuning — the paper's contribution.
+
+Workflow (Section III): collect ``Ta = {(x_i, y_i)}`` by running RS on
+a source machine, fit a surrogate performance model (random forest by
+default), then accelerate the search on a target machine with the
+pruning (RSp) or biasing (RSb) strategy, comparing against plain RS and
+the model-free controls (RSpf, RSbf) under common random numbers.
+"""
+
+from repro.transfer.surrogate import Surrogate
+from repro.transfer.metrics import SpeedupReport, speedups
+from repro.transfer.session import TransferOutcome, TransferSession
+
+__all__ = [
+    "Surrogate",
+    "SpeedupReport",
+    "speedups",
+    "TransferOutcome",
+    "TransferSession",
+]

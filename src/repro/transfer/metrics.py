@@ -1,0 +1,83 @@
+"""Speedup metrics (Section IV-D).
+
+The paper's defining example: RS takes 100 s of search time to find its
+best configuration (run time 5 s); RSb finds a 3 s configuration in
+80 s total, but already reached a <=5 s configuration after 50 s.  Then
+the *performance speedup* of RSb is 5/3 ≈ 1.6X and the *search-time
+speedup* is 100/50 = 2X.  A variant that never matches RS's best
+quality gets a search-time speedup of 0 (the 0.00 entries of Tables IV
+and V), and a variant is *successful* when Prf >= 1.0 and Srh > 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SearchError
+from repro.search.result import SearchTrace
+
+__all__ = ["SpeedupReport", "speedups"]
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Performance and search-time speedup of a variant over RS."""
+
+    variant: str
+    performance: float  # Prf.Imp: best_RS / best_variant
+    search_time: float  # Srh.Imp: t_RS(best_RS) / t_variant(reach best_RS); 0 if never
+    best_rs_runtime: float
+    best_variant_runtime: float
+    rs_time_of_best: float
+    variant_time_to_match: float | None
+
+    @property
+    def successful(self) -> bool:
+        """The paper's success criterion: Prf >= 1.0 and Srh > 1.0."""
+        return self.performance >= 1.0 and self.search_time > 1.0
+
+    def row(self) -> list:
+        """(variant, Prf.Imp, Srh.Imp, success) — a Table IV cell."""
+        return [self.variant, self.performance, self.search_time, self.successful]
+
+
+def speedups(rs: SearchTrace, variant: SearchTrace) -> SpeedupReport:
+    """Compute the paper's two speedups of ``variant`` over ``rs``.
+
+    Both traces must come from searches on the *same* target machine
+    (comparing runtimes across machines is meaningless).
+    """
+    if not rs.records:
+        raise SearchError("RS trace has no evaluations")
+    if not variant.records:
+        # Complete failure (e.g. budget exhausted before any evaluation):
+        # no performance, no search speedup.
+        return SpeedupReport(
+            variant=variant.algorithm,
+            performance=0.0,
+            search_time=0.0,
+            best_rs_runtime=rs.best_runtime,
+            best_variant_runtime=float("inf"),
+            rs_time_of_best=rs.time_of_best(),
+            variant_time_to_match=None,
+        )
+    best_rs = rs.best_runtime
+    best_variant = variant.best_runtime
+    performance = best_rs / best_variant
+    rs_time = rs.time_of_best()
+    match_time = variant.time_to_reach(best_rs)
+    if match_time is None:
+        search_time = 0.0
+    elif match_time <= 0.0:
+        search_time = float("inf")  # matched at zero elapsed cost (degenerate)
+    else:
+        search_time = rs_time / match_time
+    return SpeedupReport(
+        variant=variant.algorithm,
+        performance=performance,
+        search_time=search_time,
+        best_rs_runtime=best_rs,
+        best_variant_runtime=best_variant,
+        rs_time_of_best=rs_time,
+        variant_time_to_match=match_time,
+    )

@@ -1,0 +1,212 @@
+"""The end-to-end transfer experiment (Section IV-D run setup).
+
+For a kernel α, a source machine γa and a target machine γb:
+
+1. run RS on γa and collect ``Ta`` (nmax evaluations);
+2. fit the surrogate ``Ma`` on ``Ta``;
+3. on γb, run — under common random numbers — RS, RSp, RSb, and the
+   model-free controls RSpf and RSbf, each on a fresh simulated clock;
+4. report performance and search-time speedups of every variant
+   against RS.
+
+Hyperparameters β kept fixed across machines: input size, compiler
+type and flags, thread count (Section III's partitioned-β setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.machines.compiler import CompilerModel, GCC
+from repro.machines.spec import MachineSpec
+from repro.ml.base import Regressor
+from repro.orio.evaluator import OrioEvaluator
+from repro.perf.simclock import SimClock
+from repro.search.biasing import biased_search
+from repro.search.model_free import model_free_biased_search, model_free_pruned_search
+from repro.search.pruning import pruned_search
+from repro.search.random_search import random_search
+from repro.search.result import SearchTrace
+from repro.search.stream import SharedStream
+from repro.transfer.metrics import SpeedupReport, speedups
+from repro.transfer.surrogate import Surrogate
+from repro.utils.stats import pearson, spearman
+from repro.utils.tables import format_table
+
+__all__ = ["TransferOutcome", "TransferSession"]
+
+
+@dataclass
+class TransferOutcome:
+    """Everything a transfer experiment produced."""
+
+    kernel: str
+    source: str
+    target: str
+    source_trace: SearchTrace
+    traces: dict[str, SearchTrace]  # target-machine traces by algorithm
+    reports: dict[str, SpeedupReport] = field(default_factory=dict)
+
+    @property
+    def rs(self) -> SearchTrace:
+        return self.traces["RS"]
+
+    def report(self, variant: str) -> SpeedupReport:
+        return self.reports[variant]
+
+    def correlation(self) -> tuple[float, float]:
+        """(Pearson, Spearman) between source and target runtimes of the
+        commonly evaluated RS configurations — the paper's correlation
+        panels."""
+        source_by_cfg = {r.config.index: r.runtime for r in self.source_trace.records}
+        xs, ys = [], []
+        for r in self.rs.records:
+            if r.config.index in source_by_cfg:
+                xs.append(source_by_cfg[r.config.index])
+                ys.append(r.runtime)
+        if len(xs) < 2:
+            return float("nan"), float("nan")
+        return pearson(xs, ys), spearman(xs, ys)
+
+    def summary_table(self) -> str:
+        """Human-readable speedup table (one Table IV block)."""
+        rows = []
+        for name, rep in self.reports.items():
+            rows.append(
+                [name, rep.performance, rep.search_time,
+                 rep.best_variant_runtime, rep.successful]
+            )
+        return format_table(
+            ["variant", "Prf.Imp", "Srh.Imp", "best (s)", "success"],
+            rows,
+            title=f"{self.kernel}: {self.source} -> {self.target}",
+        )
+
+
+class TransferSession:
+    """Configure and run one transfer experiment.
+
+    Parameters mirror Section IV-D: ``nmax=100`` evaluations,
+    ``pool_size=10000``, ``delta_percent=20``.  ``seed`` controls the
+    common-random-numbers stream; ``budget_seconds`` optionally bounds
+    each search's simulated time (X-Gene style failures).
+    """
+
+    def __init__(
+        self,
+        kernel,
+        source: MachineSpec,
+        target: MachineSpec,
+        compiler: CompilerModel = GCC,
+        nmax: int = 100,
+        pool_size: int = 10_000,
+        delta_percent: float = 20.0,
+        threads: int | dict[str, int] = 1,
+        openmp: bool = False,
+        seed: object = 0,
+        budget_seconds: float | None = None,
+        learner_factory: Callable[[], Regressor] | None = None,
+        variants: tuple[str, ...] = ("RSp", "RSb", "RSpf", "RSbf"),
+        evaluator_factory: Callable[[MachineSpec, SimClock], object] | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.source = source
+        self.target = target
+        self.compiler = compiler
+        self.nmax = nmax
+        self.pool_size = pool_size
+        self.delta_percent = delta_percent
+        self.threads = threads
+        self.openmp = openmp
+        self.seed = seed
+        self.budget_seconds = budget_seconds
+        self.learner_factory = learner_factory
+        self.variants = variants
+        self.evaluator_factory = evaluator_factory
+
+    # ------------------------------------------------------------------
+    def _threads_for(self, machine: MachineSpec) -> int:
+        """Per-machine thread counts (the paper uses 8/8/60 in Fig. 5)."""
+        if isinstance(self.threads, dict):
+            return int(self.threads.get(machine.name, 1))
+        return int(self.threads)
+
+    def _evaluator(self, machine: MachineSpec):
+        clock = SimClock(self.budget_seconds)
+        if self.evaluator_factory is not None:
+            return self.evaluator_factory(machine, clock)
+        return OrioEvaluator(
+            self.kernel,
+            machine,
+            compiler=self.compiler,
+            threads=self._threads_for(machine),
+            openmp=self.openmp,
+            clock=clock,
+        )
+
+    def _stream(self) -> SharedStream:
+        return SharedStream(self.kernel.space, seed=self.seed)
+
+    def collect_source_data(self) -> SearchTrace:
+        """Step 1: RS on the source machine, producing Ta."""
+        return random_search(
+            self._evaluator(self.source), self._stream(), nmax=self.nmax,
+            name="RS(source)",
+        )
+
+    def fit_surrogate(self, source_trace: SearchTrace) -> Surrogate:
+        """Step 2: fit Ma on Ta."""
+        surrogate = Surrogate(self.kernel.space, learner_factory=self.learner_factory)
+        return surrogate.fit(source_trace.training_data())
+
+    def run(self) -> TransferOutcome:
+        """Steps 1-4; returns the complete outcome."""
+        source_trace = self.collect_source_data()
+        surrogate = self.fit_surrogate(source_trace)
+        training = source_trace.training_data()
+
+        traces: dict[str, SearchTrace] = {}
+        # Common random numbers: every stream-driven search replays the
+        # same sequence (fresh SharedStream instances share the seed).
+        traces["RS"] = random_search(
+            self._evaluator(self.target), self._stream(), nmax=self.nmax
+        )
+        if "RSp" in self.variants:
+            traces["RSp"] = pruned_search(
+                self._evaluator(self.target),
+                self._stream(),
+                surrogate,
+                nmax=self.nmax,
+                pool_size=self.pool_size,
+                delta_percent=self.delta_percent,
+            )
+        if "RSb" in self.variants:
+            traces["RSb"] = biased_search(
+                self._evaluator(self.target),
+                self.kernel.space,
+                surrogate,
+                nmax=self.nmax,
+                pool_size=self.pool_size,
+            )
+        if "RSpf" in self.variants:
+            traces["RSpf"] = model_free_pruned_search(
+                self._evaluator(self.target), training, nmax=self.nmax,
+                delta_percent=self.delta_percent,
+            )
+        if "RSbf" in self.variants:
+            traces["RSbf"] = model_free_biased_search(
+                self._evaluator(self.target), training, nmax=self.nmax
+            )
+
+        outcome = TransferOutcome(
+            kernel=self.kernel.name,
+            source=self.source.name,
+            target=self.target.name,
+            source_trace=source_trace,
+            traces=traces,
+        )
+        for name, trace in traces.items():
+            if name != "RS":
+                outcome.reports[name] = speedups(traces["RS"], trace)
+        return outcome

@@ -1,0 +1,103 @@
+"""Surrogate performance models (Section III-A).
+
+A :class:`Surrogate` pairs a regression learner with a search space's
+numeric encoding and tracks the simulated time its fitting and
+prediction cost — those seconds are charged to the search clock, so
+model overhead is honestly reflected in search-time speedups (the
+paper notes pool generation/prediction "should be within few seconds").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.base import Regressor
+from repro.ml.forest import RandomForestRegressor
+from repro.searchspace.space import Configuration, SearchSpace
+
+__all__ = ["Surrogate"]
+
+# Simulated overhead model: fitting scales with training rows, batch
+# prediction with query rows.  Values are representative of an R/Python
+# random-forest on a laptop of the paper's era.
+_FIT_BASE_S = 0.5
+_FIT_PER_ROW_S = 5e-3
+_PREDICT_BASE_S = 0.05
+_PREDICT_PER_ROW_S = 2e-4
+
+
+class Surrogate:
+    """An empirical performance model ``M`` over one search space.
+
+    Parameters
+    ----------
+    space:
+        The configuration space whose encoding defines the features.
+    learner:
+        Any :class:`repro.ml.base.Regressor`; defaults to the paper's
+        random forest.
+    log_target:
+        Fit ``log(y)`` instead of ``y`` — runtimes are positive with
+        multiplicative structure, so this is the better-behaved target
+        (predictions are transformed back).
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        learner: Regressor | None = None,
+        learner_factory: Callable[[], Regressor] | None = None,
+        log_target: bool = True,
+    ) -> None:
+        if learner is not None and learner_factory is not None:
+            raise ModelError("pass either learner or learner_factory, not both")
+        if learner is None:
+            learner = learner_factory() if learner_factory else RandomForestRegressor(
+                n_estimators=64, min_samples_leaf=2, seed=0
+            )
+        self.space = space
+        self.learner = learner
+        self.log_target = log_target
+        self.fit_seconds = 0.0  # simulated cost of the last fit
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, training: Sequence[tuple[Configuration, float]]) -> "Surrogate":
+        """Fit from ``(configuration, runtime)`` pairs (the set Ta)."""
+        if not training:
+            raise ModelError("cannot fit a surrogate on an empty training set")
+        configs = [c for c, _ in training]
+        y = np.array([t for _, t in training], dtype=float)
+        if np.any(y <= 0) and self.log_target:
+            raise ModelError("log-target surrogate requires positive runtimes")
+        X = self.space.encode_many(configs)
+        self.learner.fit(X, np.log(y) if self.log_target else y)
+        self.fit_seconds = _FIT_BASE_S + _FIT_PER_ROW_S * len(training)
+        self._fitted = True
+        return self
+
+    def predict(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Predicted runtimes for a batch of configurations."""
+        if not self._fitted:
+            raise NotFittedError("surrogate has not been fitted")
+        if len(configs) == 0:
+            return np.empty(0)
+        X = self.space.encode_many(list(configs))
+        pred = self.learner.predict(X)
+        return np.exp(pred) if self.log_target else pred
+
+    def predict_one(self, config: Configuration) -> float:
+        return float(self.predict([config])[0])
+
+    def predict_seconds(self, n: int) -> float:
+        """Simulated wall time of predicting ``n`` configurations."""
+        if n < 0:
+            raise ModelError(f"cannot predict a negative count: {n}")
+        return _PREDICT_BASE_S + _PREDICT_PER_ROW_S * n
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted

@@ -1,0 +1,80 @@
+"""The tuning driver: technique(s) vs. an evaluator, on a clock."""
+
+from __future__ import annotations
+
+from repro.errors import BudgetExhaustedError, SearchError
+from repro.search.result import EvaluationRecord, SearchTrace
+from repro.tuner.database import Result, ResultsDatabase
+from repro.tuner.manipulator import ConfigurationManipulator
+from repro.tuner.technique import SearchTechnique
+
+__all__ = ["TuningRun"]
+
+
+class TuningRun:
+    """Drive one technique (or meta-technique) against an evaluator.
+
+    ``evaluator`` follows the :class:`~repro.orio.evaluator
+    .OrioEvaluator` protocol: ``evaluate(config)`` returns a measurement
+    with ``runtime_seconds``/``evaluation_cost`` and charges ``clock``.
+    Results are cached by configuration — re-proposals of measured
+    configurations cost nothing, as in OpenTuner.
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        technique: SearchTechnique,
+        nmax: int = 100,
+        name: str | None = None,
+    ) -> None:
+        if nmax < 1:
+            raise SearchError(f"nmax must be >= 1, got {nmax}")
+        self.evaluator = evaluator
+        self.technique = technique
+        self.nmax = nmax
+        self.name = name or technique.name
+        self.database = ResultsDatabase()
+        space = evaluator.kernel.space if hasattr(evaluator, "kernel") else evaluator.space
+        self.manipulator = ConfigurationManipulator(space)
+        technique.bind(self.manipulator, self.database)
+
+    def run(self) -> SearchTrace:
+        """Run until ``nmax`` measurements (cache hits don't count)."""
+        trace = SearchTrace(algorithm=self.name)
+        iteration = 0
+        stall_guard = 0
+        while trace.n_evaluations < self.nmax:
+            config = self.technique.propose()
+            iteration += 1
+            cached = self.database.lookup(config)
+            if cached is not None:
+                # Feed the remembered value back; costs no search time.
+                self.technique.feedback(config, cached.value)
+                stall_guard += 1
+                if stall_guard > 50 * self.nmax:
+                    break  # technique converged onto measured configs
+                continue
+            stall_guard = 0
+            try:
+                measurement = self.evaluator.evaluate(config)
+            except BudgetExhaustedError:
+                trace.exhausted_budget = True
+                break
+            value = measurement.runtime_seconds
+            self.database.add(
+                Result(
+                    config=config,
+                    value=value,
+                    technique=self.technique.name,
+                    elapsed=self.evaluator.clock.now,
+                    iteration=iteration,
+                )
+            )
+            self.technique.feedback(config, value)
+            trace.add(
+                EvaluationRecord(
+                    config=config, runtime=value, elapsed=self.evaluator.clock.now
+                )
+            )
+        return trace

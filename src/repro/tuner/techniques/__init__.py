@@ -1,0 +1,19 @@
+"""Concrete search techniques (the families Section II lists)."""
+
+from repro.tuner.techniques.random import RandomTechnique
+from repro.tuner.techniques.genetic import GeneticAlgorithm
+from repro.tuner.techniques.anneal import SimulatedAnnealing
+from repro.tuner.techniques.pattern import PatternSearch
+from repro.tuner.techniques.pso import ParticleSwarm
+from repro.tuner.techniques.neldermead import NelderMead
+from repro.tuner.techniques.orthogonal import OrthogonalSearch
+
+__all__ = [
+    "RandomTechnique",
+    "GeneticAlgorithm",
+    "SimulatedAnnealing",
+    "PatternSearch",
+    "ParticleSwarm",
+    "NelderMead",
+    "OrthogonalSearch",
+]

@@ -1,0 +1,26 @@
+"""Uniform random proposals (duplicate-avoiding)."""
+
+from __future__ import annotations
+
+from repro.searchspace.space import Configuration
+from repro.tuner.technique import SearchTechnique
+
+__all__ = ["RandomTechnique"]
+
+
+class RandomTechnique(SearchTechnique):
+    """Uniform random search; skips already-measured configurations
+    when the space still has unmeasured ones (RS without replacement)."""
+
+    name = "random"
+
+    def propose(self) -> Configuration:
+        self._require_bound()
+        assert self.manipulator is not None and self.database is not None
+        space = self.manipulator.space
+        for _ in range(64):
+            candidate = self.manipulator.random(self.rng)
+            if not self.database.has(candidate) or self.database.n_distinct >= space.cardinality:
+                break
+        self.n_proposals += 1
+        return candidate

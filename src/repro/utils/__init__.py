@@ -1,0 +1,26 @@
+"""Shared low-level utilities: seeded RNG streams, statistics, rendering."""
+
+from repro.utils.rng import RngFactory, stable_hash, stable_seed, spawn_rng
+from repro.utils.stats import (
+    pearson,
+    spearman,
+    quantile,
+    rank,
+    bootstrap_ci,
+    geometric_mean,
+    summary,
+)
+
+__all__ = [
+    "RngFactory",
+    "stable_hash",
+    "stable_seed",
+    "spawn_rng",
+    "pearson",
+    "spearman",
+    "quantile",
+    "rank",
+    "bootstrap_ci",
+    "geometric_mean",
+    "summary",
+]

@@ -1,0 +1,146 @@
+"""Terminal plotting for the figure reproductions.
+
+The paper's figures are (a) scatter plots of per-configuration runtimes
+on two machines (correlation panels of Figs. 1, 3–5) and (b) step plots
+of best-found runtime versus elapsed search time (search-progress
+panels).  These renderers draw both as character rasters so the
+benchmark harness can show figure *shape* directly in a terminal; the
+underlying series are also exported as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["scatter_plot", "step_plot", "Series"]
+
+
+def _nice_ticks(lo: float, hi: float, log: bool) -> tuple[float, float]:
+    if log:
+        lo = math.log10(max(lo, 1e-300))
+        hi = math.log10(max(hi, 1e-300))
+    if hi <= lo:
+        hi = lo + 1.0
+    pad = 0.02 * (hi - lo)
+    return lo - pad, hi + pad
+
+
+def _project(values: np.ndarray, lo: float, hi: float, n: int, log: bool) -> np.ndarray:
+    vals = np.log10(np.maximum(values, 1e-300)) if log else values
+    frac = (vals - lo) / (hi - lo)
+    return np.clip((frac * (n - 1)).round().astype(int), 0, n - 1)
+
+
+def _axis_label(value: float, log: bool) -> str:
+    v = 10.0**value if log else value
+    return format(v, ".3g")
+
+
+def scatter_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 20,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str | None = None,
+    logx: bool = False,
+    logy: bool = False,
+    marker: str = "o",
+) -> str:
+    """Render an x/y scatter as a character raster."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError("x and y must be equal-length 1-D sequences")
+    if xa.size == 0:
+        raise ValueError("cannot plot an empty series")
+    xlo, xhi = _nice_ticks(xa.min(), xa.max(), logx)
+    ylo, yhi = _nice_ticks(ya.min(), ya.max(), logy)
+    grid = [[" "] * width for _ in range(height)]
+    cols = _project(xa, xlo, xhi, width, logx)
+    rows = _project(ya, ylo, yhi, height, logy)
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    ylo_s, yhi_s = _axis_label(ylo, logy), _axis_label(yhi, logy)
+    margin = max(len(ylo_s), len(yhi_s))
+    for i, row in enumerate(grid):
+        label = yhi_s if i == 0 else (ylo_s if i == height - 1 else "")
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    xlo_s, xhi_s = _axis_label(xlo, logx), _axis_label(xhi, logx)
+    lines.append(" " * margin + "  " + xlo_s + " " * max(1, width - len(xlo_s) - len(xhi_s)) + xhi_s)
+    lines.append(" " * margin + f"  x: {xlabel}   y: {ylabel}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One step-plot series: elapsed times and the best value at each."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+    marker: str = "*"
+    meta: dict = field(default_factory=dict)
+
+
+def step_plot(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 20,
+    xlabel: str = "elapsed search time (s)",
+    ylabel: str = "best run time (s)",
+    title: str | None = None,
+    logx: bool = True,
+) -> str:
+    """Render best-so-far step curves for several searches on one raster.
+
+    Later series overwrite earlier ones where they collide, so put the
+    most important series (e.g. RSb) last.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    all_x = np.concatenate([np.asarray(s.x, dtype=float) for s in series])
+    all_y = np.concatenate([np.asarray(s.y, dtype=float) for s in series])
+    if all_x.size == 0:
+        raise ValueError("cannot plot empty series")
+    xlo, xhi = _nice_ticks(max(all_x.min(), 1e-9) if logx else all_x.min(), all_x.max(), logx)
+    ylo, yhi = _nice_ticks(all_y.min(), all_y.max(), False)
+    grid = [[" "] * width for _ in range(height)]
+    for s in series:
+        xa = np.asarray(s.x, dtype=float)
+        ya = np.asarray(s.y, dtype=float)
+        if xa.size == 0:
+            continue
+        cols = _project(np.maximum(xa, 1e-9) if logx else xa, xlo, xhi, width, logx)
+        rows = _project(ya, ylo, yhi, height, False)
+        # Draw the step: horizontal run at the current best until the next point.
+        for k in range(len(cols)):
+            c0 = cols[k]
+            c1 = cols[k + 1] if k + 1 < len(cols) else width - 1
+            r = rows[k]
+            for c in range(c0, max(c0, c1) + 1):
+                grid[height - 1 - r][c] = s.marker
+    lines = []
+    if title:
+        lines.append(title)
+    ylo_s, yhi_s = _axis_label(ylo, False), _axis_label(yhi, False)
+    margin = max(len(ylo_s), len(yhi_s))
+    for i, row in enumerate(grid):
+        label = yhi_s if i == 0 else (ylo_s if i == height - 1 else "")
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    xlo_s, xhi_s = _axis_label(xlo, logx), _axis_label(xhi, logx)
+    lines.append(" " * margin + "  " + xlo_s + " " * max(1, width - len(xlo_s) - len(xhi_s)) + xhi_s)
+    legend = "   ".join(f"{s.marker} {s.name}" for s in series)
+    lines.append(" " * margin + f"  x: {xlabel}   y: {ylabel}")
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""CSV export for experiment data (external plotting).
+
+The ASCII plots show figure *shape* in a terminal; these helpers dump
+the underlying series so the figures can be redrawn with real plotting
+tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.search.result import SearchTrace
+
+__all__ = ["write_csv", "trace_to_rows", "write_traces_csv"]
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    """Write rows to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+                )
+            writer.writerow(row)
+    return path
+
+
+def trace_to_rows(trace: SearchTrace) -> list[list]:
+    """(algorithm, k, config index, runtime, elapsed, best so far)."""
+    rows = []
+    best = float("inf")
+    for k, record in enumerate(trace.records, start=1):
+        best = min(best, record.runtime)
+        rows.append(
+            [trace.algorithm, k, record.config.index, record.runtime,
+             record.elapsed, best]
+        )
+    return rows
+
+
+def write_traces_csv(path: str | Path, traces: Iterable[SearchTrace]) -> Path:
+    """Dump several searches' progress into one long-format CSV."""
+    rows: list[list] = []
+    for trace in traces:
+        rows.extend(trace_to_rows(trace))
+    return write_csv(
+        path,
+        ["algorithm", "evaluation", "config_index", "runtime_s", "elapsed_s", "best_s"],
+        rows,
+    )

@@ -1,0 +1,74 @@
+"""Tests for the extension experiments (small-scale runs)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_delta_sweep,
+    run_dissimilarity,
+    run_multisource,
+    run_online,
+    run_pool_sweep,
+    run_surrogate_ablation,
+    run_warm_start,
+)
+
+SMALL = dict(seed="abl-unit", nmax=20)
+
+
+class TestDeltaSweep:
+    def test_rows_and_labels(self):
+        res = run_delta_sweep(deltas=(10.0, 40.0), **SMALL)
+        assert [r.label for r in res.rows] == ["delta=10%", "delta=40%"]
+        assert all(r.performance > 0 for r in res.rows)
+
+    def test_render(self):
+        res = run_delta_sweep(deltas=(20.0,), **SMALL)
+        assert "delta sweep" in res.render()
+
+
+class TestSurrogateAblation:
+    def test_all_learners_run(self):
+        res = run_surrogate_ablation(**SMALL)
+        labels = {r.label for r in res.rows}
+        assert labels == {"random-forest", "boosted-trees", "knn", "ridge"}
+
+
+class TestPoolSweep:
+    def test_pool_sizes(self):
+        res = run_pool_sweep(pool_sizes=(100, 1000), **SMALL)
+        assert [r.label for r in res.rows] == ["N=100", "N=1000"]
+
+
+class TestDissimilarity:
+    def test_anticorrelation(self):
+        res = run_dissimilarity(n_configs=60, seed="abl-unit")
+        assert res.correlation < 0  # distance vs rho_s: negative
+        assert len(res.pairs) == 10  # C(5, 2) machine pairs
+
+    def test_render(self):
+        res = run_dissimilarity(n_configs=40, seed="abl-unit")
+        assert "dissimilarity" in res.render()
+
+
+class TestMultisource:
+    def test_three_rows(self):
+        res = run_multisource(sources=("westmere", "power7"), **SMALL)
+        labels = [r.label for r in res.rows]
+        assert labels[0].startswith("single source")
+        assert labels[-1].startswith("pooled")
+        assert len(res.rows) == 3
+
+
+class TestWarmStart:
+    def test_six_rows(self):
+        res = run_warm_start(pool_size=500, **SMALL)
+        assert len(res.rows) == 6
+        assert {r.label.split(" ")[0] for r in res.rows} == {"ga", "anneal", "bandit"}
+
+
+class TestOnline:
+    def test_two_rows(self):
+        res = run_online(pool_size=500, refit_every=8, **SMALL)
+        assert len(res.rows) == 2
+        assert res.rows[0].label.startswith("RSb (frozen")
+        assert "online" in res.rows[1].label

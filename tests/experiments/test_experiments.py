@@ -1,0 +1,123 @@
+"""Tests for the experiment harness (small-scale runs)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    PROBLEMS,
+    build_problem,
+    build_session,
+    run_figure1,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.figure3 import run_panels
+from repro.kernels.base import SpaptKernel
+
+
+class TestHarness:
+    def test_six_problems(self):
+        assert PROBLEMS == ("MM", "ATAX", "LU", "COR", "HPL", "RT")
+
+    def test_kernel_problems_have_no_factory(self):
+        kernel, factory = build_problem("LU")
+        assert isinstance(kernel, SpaptKernel)
+        assert factory is None
+
+    def test_miniapp_problems_have_factory(self):
+        model, factory = build_problem("HPL")
+        assert factory is not None
+        from repro.machines import SANDYBRIDGE
+        from repro.perf.simclock import SimClock
+
+        ev = factory(SANDYBRIDGE, SimClock())
+        assert ev.kernel is model
+
+    def test_unknown_problem(self):
+        with pytest.raises(ExperimentError):
+            build_problem("FFT")
+
+    def test_build_session_configures(self):
+        session = build_session("LU", "westmere", "sandybridge", nmax=10)
+        assert session.nmax == 10
+        assert session.source.name == "westmere"
+
+
+class TestStaticTables:
+    def test_table1_reproduced(self):
+        res = run_table1()
+        assert res.reproduced()
+        assert "Loop unrolling" in res.render()
+
+    def test_table2_reproduced(self):
+        res = run_table2()
+        assert res.reproduced()
+        assert "sandybridge" in res.render()
+
+    def test_table3_reproduced(self):
+        res = run_table3()
+        assert res.reproduced()
+        text = res.render()
+        assert "8.561e+10" in text or "8.56e+10" in text
+
+
+class TestFigure1:
+    def test_correlation_above_paper_threshold(self):
+        res = run_figure1(n_configs=100, seed="exp-test")
+        assert res.reproduced()  # rho_p, rho_s > 0.8
+        assert "rho_p" in res.render()
+
+    def test_different_machines(self):
+        res = run_figure1(n_configs=40, machine_a="sandybridge",
+                          machine_b="power7", seed="exp-test")
+        assert -1.0 <= res.spearman <= 1.0
+
+
+class TestFigure2:
+    def test_tree_uses_mm_parameters(self):
+        res = run_figure2(n_train=80, seed="exp-test")
+        assert res.reproduced()
+        assert res.n_leaves >= 2
+        assert "<=" in res.tree_text
+
+    def test_render_mentions_splits(self):
+        res = run_figure2(n_train=60, seed="exp-test")
+        assert "splits on" in res.render()
+
+
+class TestPanels:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return run_panels(
+            "test-fig", ["LU"], source="westmere", target="sandybridge",
+            seed="panel-test", nmax=25,
+        )
+
+    def test_panel_structure(self, panels):
+        panel = panels.panel("LU")
+        assert set(panel.outcome.traces) == {"RS", "RSp", "RSb", "RSpf", "RSbf"}
+
+    def test_render_contains_all_panels(self, panels):
+        text = panels.render()
+        assert "model-based variants" in text
+        assert "model-free variants" in text
+        assert "correlation" in text
+
+    def test_unknown_panel(self, panels):
+        with pytest.raises(KeyError):
+            panels.panel("MM")
+
+
+class TestCsvExport:
+    def test_figure_panels_export(self, tmp_path):
+        panels = run_panels(
+            "test-csv", ["LU"], source="westmere", target="sandybridge",
+            seed="csv-test", nmax=8,
+        )
+        paths = panels.export_csv(tmp_path)
+        assert len(paths) == 1
+        text = paths[0].read_text()
+        assert text.startswith("algorithm,")
+        assert "RSb" in text and "RS" in text

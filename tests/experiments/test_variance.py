@@ -1,0 +1,42 @@
+"""Tests for the variance study."""
+
+import pytest
+
+from repro.experiments.variance import VarianceResult, run_variance_study
+
+
+class TestVarianceResult:
+    def test_success_rate(self):
+        r = VarianceResult(
+            problem="LU", source="a", target="b", variant="RSb",
+            performances=(1.2, 0.9, 1.1), search_times=(5.0, 0.0, 2.0),
+        )
+        assert r.success_rate() == pytest.approx(2 / 3)
+
+    def test_cis_bracket_median(self):
+        r = VarianceResult(
+            problem="LU", source="a", target="b", variant="RSb",
+            performances=(1.0, 1.1, 1.2, 1.3, 1.4),
+            search_times=(1.0, 2.0, 3.0, 4.0, 5.0),
+        )
+        lo, hi = r.performance_ci()
+        assert lo <= 1.2 <= hi
+
+    def test_render(self):
+        r = VarianceResult(
+            problem="LU", source="a", target="b", variant="RSb",
+            performances=(1.0, 1.1), search_times=(2.0, 3.0),
+        )
+        text = r.render()
+        assert "success rate" in text and "median" in text
+
+
+class TestRunVarianceStudy:
+    def test_small_study(self):
+        result = run_variance_study(n_seeds=3, nmax=20, pool_size=500)
+        assert result.n_seeds == 3
+        assert all(p > 0 for p in result.performances)
+
+    def test_seeds_differ(self):
+        result = run_variance_study(n_seeds=3, nmax=20, pool_size=500)
+        assert len(set(result.performances)) > 1  # genuinely independent runs

@@ -1,0 +1,74 @@
+"""Golden regression values for the simulation substrate.
+
+Every number in the experiment tables flows through the cost model; an
+accidental change to any of its terms silently reshapes all results.
+These tests pin a handful of exact measured values (to 6 significant
+digits — full float equality is intentional, everything is
+deterministic).  If a cost-model change is *deliberate*, update the
+constants and re-validate `benchmarks/` shape assertions.
+"""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.machines import get_machine
+from repro.miniapps import MiniappEvaluator, make_hpl
+from repro.orio.evaluator import OrioEvaluator
+
+# (kernel, machine) -> (default-config runtime s, compile s)
+GOLDEN_DEFAULTS = {
+    ("mm", "westmere"): (28.52956979719289, 0.8000666666666667),
+    ("mm", "sandybridge"): (15.555097883534467, 0.6000444444444444),
+    ("mm", "xgene"): (26.13852685590903, 20.0016),
+    ("lu", "westmere"): (7.975525842954567, 0.8000666666666667),
+    ("lu", "sandybridge"): (3.1198881049668263, 0.6000444444444444),
+    ("lu", "xgene"): (2.3924807604973335, 20.0016),
+}
+
+
+class TestGoldenDefaults:
+    @pytest.mark.parametrize("key", sorted(GOLDEN_DEFAULTS))
+    def test_default_config_runtime_pinned(self, key):
+        kernel_name, machine_name = key
+        runtime, compile_s = GOLDEN_DEFAULTS[key]
+        kernel = get_kernel(kernel_name)
+        measurement = OrioEvaluator(kernel, get_machine(machine_name)).measure(
+            kernel.space.default()
+        )
+        assert measurement.runtime_seconds == pytest.approx(runtime, rel=1e-6)
+        assert measurement.compile_seconds == pytest.approx(compile_s, rel=1e-6)
+
+
+class TestGoldenTransformed:
+    def test_lu_power7_specific_config(self):
+        kernel = get_kernel("lu")
+        config = kernel.space.config_at(123456789 % kernel.space.cardinality)
+        measurement = OrioEvaluator(kernel, get_machine("power7")).measure(config)
+        assert measurement.runtime_seconds == pytest.approx(0.5801284934767222, rel=1e-6)
+
+    def test_hpl_sandybridge_default(self):
+        hpl = make_hpl()
+        measurement = MiniappEvaluator(hpl, get_machine("sandybridge")).measure(
+            hpl.space.default()
+        )
+        assert measurement.runtime_seconds == pytest.approx(455.1652345671705, rel=1e-6)
+
+
+class TestPhysicalOrdering:
+    """Relations that must survive any deliberate retuning."""
+
+    def test_sandybridge_beats_westmere_on_defaults(self):
+        for name in ("mm", "lu"):
+            wm = GOLDEN_DEFAULTS[(name, "westmere")][0]
+            sb = GOLDEN_DEFAULTS[(name, "sandybridge")][0]
+            assert sb < wm
+
+    def test_xgene_compiles_slowest(self):
+        assert GOLDEN_DEFAULTS[("mm", "xgene")][1] > 20 * GOLDEN_DEFAULTS[
+            ("mm", "sandybridge")
+        ][1]
+
+    def test_mm_slower_than_lu(self):
+        # MM does ~3x the flops of the LU update at the same N.
+        for machine in ("westmere", "sandybridge"):
+            assert GOLDEN_DEFAULTS[("mm", machine)][0] > GOLDEN_DEFAULTS[("lu", machine)][0]

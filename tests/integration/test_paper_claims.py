@@ -1,0 +1,171 @@
+"""Integration tests: the paper's qualitative claims must hold end to end.
+
+These are the reproduction's acceptance tests.  They run full transfer
+sessions (reduced nmax for speed, same protocol) and assert the *shape*
+of the published results — who wins, in which regime, and where
+transfer breaks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernel
+from repro.machines import get_machine
+from repro.orio.evaluator import OrioEvaluator
+from repro.transfer import TransferSession
+from repro.utils.stats import pearson, spearman
+
+
+@pytest.fixture(scope="module")
+def lu_wm_sb_outcomes():
+    """The paper's flagship pair at full nmax=100, three replicates.
+
+    The published tables are single runs and so carry real run-to-run
+    variance; the claims below are asserted on medians/majorities over
+    three seeds, which is what the claims actually mean.
+    """
+    outcomes = []
+    for seed in ("integration-1", "integration-2", "integration-3"):
+        session = TransferSession(
+            kernel=get_kernel("lu"),
+            source=get_machine("westmere"),
+            target=get_machine("sandybridge"),
+            seed=seed,
+        )
+        outcomes.append(session.run())
+    return outcomes
+
+
+def median_of(outcomes, variant: str, attr: str) -> float:
+    return float(np.median([getattr(o.report(variant), attr) for o in outcomes]))
+
+
+class TestFigure1Claim:
+    def test_intel_pair_correlation_above_0_8(self):
+        kernel = get_kernel("lu")
+        rng = np.random.default_rng(12)
+        configs = kernel.space.sample(rng, 150)
+        wm = [OrioEvaluator(kernel, get_machine("westmere")).measure(c).runtime_seconds
+              for c in configs]
+        sb = [OrioEvaluator(kernel, get_machine("sandybridge")).measure(c).runtime_seconds
+              for c in configs]
+        assert pearson(wm, sb) > 0.8
+        assert spearman(wm, sb) > 0.8
+
+
+class TestSection5Claims:
+    def test_model_variants_beat_rs(self, lu_wm_sb_outcomes):
+        """'Model-based and model-free RS variants are better than RS'."""
+        assert median_of(lu_wm_sb_outcomes, "RSb", "performance") >= 1.0
+        assert median_of(lu_wm_sb_outcomes, "RSb", "search_time") > 1.0
+        assert median_of(lu_wm_sb_outcomes, "RSbf", "search_time") > 1.0
+
+    def test_biasing_beats_pruning(self, lu_wm_sb_outcomes):
+        """'Biasing is better than pruning' (majority of runs)."""
+        wins = sum(
+            o.report("RSb").search_time >= o.report("RSp").search_time
+            for o in lu_wm_sb_outcomes
+        )
+        assert wins >= 2
+
+    def test_model_based_beats_model_free_on_performance(self, lu_wm_sb_outcomes):
+        """'Model-based is better than model-free': RSb's best quality
+        should at least match the source-restricted RSbf (median)."""
+        rsb = median_of(lu_wm_sb_outcomes, "RSb", "best_variant_runtime")
+        rsbf = median_of(lu_wm_sb_outcomes, "RSbf", "best_variant_runtime")
+        assert rsb <= rsbf * 1.05
+
+    def test_search_speedups_in_paper_range(self, lu_wm_sb_outcomes):
+        """Paper: search-time speedups between 1.6X and 130X for the
+        Westmere -> Sandybridge experiments (order of magnitude)."""
+        srh = median_of(lu_wm_sb_outcomes, "RSb", "search_time")
+        assert 1.6 <= srh <= 1500.0
+
+    def test_performance_speedups_small(self, lu_wm_sb_outcomes):
+        """Paper: performance speedups are much smaller than search
+        speedups (1.0-1.3X there; we accept < 3X)."""
+        prf = median_of(lu_wm_sb_outcomes, "RSb", "performance")
+        srh = median_of(lu_wm_sb_outcomes, "RSb", "search_time")
+        assert prf < 3.0
+        assert prf < srh
+
+    def test_model_free_restricted_to_source_quality(self, lu_wm_sb_outcomes):
+        for out in lu_wm_sb_outcomes:
+            assert out.report("RSbf").performance <= 1.0 + 1e-9
+            assert out.report("RSpf").performance <= 1.0 + 1e-9
+
+
+class TestPower7Claim:
+    def test_sandybridge_speeds_power7(self):
+        """Figure 4: despite vendor differences, RSb transfers."""
+        session = TransferSession(
+            kernel=get_kernel("lu"),
+            source=get_machine("sandybridge"),
+            target=get_machine("power7"),
+            seed="integration-p7",
+            variants=("RSb",),
+        )
+        rep = session.run().report("RSb")
+        assert rep.performance >= 0.95
+        assert rep.search_time > 1.0
+
+
+class TestXGeneClaim:
+    def test_transfer_to_xgene_unrewarding(self):
+        """Section V: 'RS variants do not achieve any significant search
+        time and performance speedups over RS' on the dissimilar ARM.
+        Across the kernels with X-Gene data, the biased variant must not
+        look like the Intel/Power successes."""
+        results = []
+        for kname, seed in (("atax", "xg-a"), ("lu", "xg-b")):
+            session = TransferSession(
+                kernel=get_kernel(kname),
+                source=get_machine("westmere"),
+                target=get_machine("xgene"),
+                seed=seed,
+                variants=("RSb",),
+            )
+            results.append(session.run().report("RSb"))
+        # No large transfer wins on X-Gene (intel pairs show 20-300X).
+        assert all(r.performance < 1.8 for r in results)
+
+    def test_xgene_correlation_is_broken(self):
+        kernel = get_kernel("lu")
+        rng = np.random.default_rng(13)
+        configs = kernel.space.sample(rng, 120)
+        sb = [OrioEvaluator(kernel, get_machine("sandybridge")).measure(c).runtime_seconds
+              for c in configs]
+        xg = [OrioEvaluator(kernel, get_machine("xgene")).measure(c).runtime_seconds
+              for c in configs]
+        assert spearman(sb, xg) < 0.5  # far below the intel pair's > 0.8
+
+
+class TestXeonPhiClaims:
+    def test_icc_mm_default_is_best(self):
+        """Figure 5/MM: 'default one without any code transformation is
+        the best on the Xeon Phi'."""
+        from repro.machines import ICC
+
+        kernel = get_kernel("mm")
+        ev = OrioEvaluator(kernel, get_machine("xeonphi"), compiler=ICC,
+                           threads=60, openmp=True)
+        default_time = ev.measure(kernel.space.default()).runtime_seconds
+        rng = np.random.default_rng(14)
+        others = [ev.measure(c).runtime_seconds for c in kernel.space.sample(rng, 40)]
+        assert default_time < min(others)
+
+    def test_lu_phi_transfer_is_enormous(self):
+        """Table V: LU onto the Phi earns the largest search speedups."""
+        session = TransferSession(
+            kernel=get_kernel("lu"),
+            source=get_machine("sandybridge"),
+            target=get_machine("xeonphi"),
+            compiler=__import__("repro.machines", fromlist=["ICC"]).ICC,
+            openmp=True,
+            threads={"sandybridge": 8, "xeonphi": 60},
+            seed="integration-phi",
+            variants=("RSb",),
+        )
+        rep = session.run().report("RSb")
+        assert rep.search_time > 20.0
+        assert rep.performance >= 1.0

@@ -1,0 +1,73 @@
+"""Tests for compiler models."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.machines import GCC, ICC, POWER7, SANDYBRIDGE, XEON_PHI, XGENE, get_compiler
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_compiler("gcc") is GCC
+        assert get_compiler("ICC") is ICC
+
+    def test_unknown(self):
+        with pytest.raises(CompilationError):
+            get_compiler("clang")
+
+    def test_versions_match_paper(self):
+        assert GCC.version == "4.4.7"
+        assert ICC.version == "15.0.1"
+        assert GCC.opt_level == ICC.opt_level == "-O3"
+
+
+class TestIsaSupport:
+    def test_gcc_targets_everything(self):
+        for machine in (SANDYBRIDGE, POWER7, XGENE, XEON_PHI):
+            GCC.check_supports(machine)
+
+    def test_icc_rejects_power_and_arm(self):
+        ICC.check_supports(SANDYBRIDGE)
+        ICC.check_supports(XEON_PHI)
+        with pytest.raises(CompilationError):
+            ICC.check_supports(POWER7)
+        with pytest.raises(CompilationError):
+            ICC.check_supports(XGENE)
+
+
+class TestIdiom:
+    def test_icc_recognizes_mm_only(self):
+        assert ICC.recognizes_idiom("mm")
+        assert not ICC.recognizes_idiom("lu")
+        assert not GCC.recognizes_idiom("mm")
+
+    def test_icc_vectorizes_better(self):
+        assert ICC.vector_quality > GCC.vector_quality
+
+    def test_icc_flattens_idiom_kernels(self):
+        assert ICC.idiom_flatten < 0.5
+        assert GCC.idiom_flatten == 1.0
+
+
+class TestCompileTime:
+    def test_grows_with_statements(self):
+        small = GCC.compile_time(SANDYBRIDGE, 100)
+        large = GCC.compile_time(SANDYBRIDGE, 100_000)
+        assert large > small
+
+    def test_xgene_much_slower(self):
+        # The mechanism behind the paper's X-Gene collection failures.
+        fast = GCC.compile_time(SANDYBRIDGE, 50_000)
+        slow = GCC.compile_time(XGENE, 50_000)
+        assert slow > 10 * fast
+
+    def test_icc_slower_than_gcc(self):
+        assert ICC.compile_time(SANDYBRIDGE, 10_000) > GCC.compile_time(SANDYBRIDGE, 10_000)
+
+    def test_rejects_empty_variant(self):
+        with pytest.raises(CompilationError):
+            GCC.compile_time(SANDYBRIDGE, 0)
+
+    def test_unsupported_target_rejected(self):
+        with pytest.raises(CompilationError):
+            ICC.compile_time(XGENE, 100)

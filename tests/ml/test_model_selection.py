@@ -1,0 +1,95 @@
+"""Tests for cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml import DecisionTreeRegressor, RandomForestRegressor, RidgeRegressor
+from repro.ml.model_selection import cross_validate, grid_search
+
+
+def nonlinear_data(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 4))
+    y = np.sin(6 * X[:, 0]) + 2 * (X[:, 1] > 0.5) + rng.normal(scale=0.1, size=n)
+    return X, y
+
+
+class TestCrossValidate:
+    def test_fold_count(self):
+        X, y = nonlinear_data()
+        cv = cross_validate(lambda: RidgeRegressor(), X, y, k=5)
+        assert cv.n_folds == 5
+        assert len(cv.rmse) == 5
+
+    def test_forest_beats_ridge_on_nonlinear_target(self):
+        X, y = nonlinear_data()
+        forest = cross_validate(
+            lambda: RandomForestRegressor(n_estimators=30, seed=0), X, y, k=4
+        )
+        ridge = cross_validate(lambda: RidgeRegressor(), X, y, k=4)
+        assert forest.mean_r2 > ridge.mean_r2
+        assert forest.mean_rank_correlation > ridge.mean_rank_correlation
+
+    def test_deterministic_folds(self):
+        X, y = nonlinear_data()
+        a = cross_validate(lambda: RidgeRegressor(), X, y, k=3, seed="s")
+        b = cross_validate(lambda: RidgeRegressor(), X, y, k=3, seed="s")
+        assert a.r2 == b.r2
+
+    def test_seed_changes_folds(self):
+        X, y = nonlinear_data()
+        a = cross_validate(lambda: RidgeRegressor(), X, y, k=3, seed="s1")
+        b = cross_validate(lambda: RidgeRegressor(), X, y, k=3, seed="s2")
+        assert a.r2 != b.r2
+
+    def test_invalid_folds(self):
+        X, y = nonlinear_data(n=20)
+        with pytest.raises(ModelError):
+            cross_validate(lambda: RidgeRegressor(), X, y, k=1)
+        with pytest.raises(ModelError):
+            cross_validate(lambda: RidgeRegressor(), X, y, k=30)
+
+
+class TestGridSearch:
+    def test_finds_reasonable_depth(self):
+        X, y = nonlinear_data()
+        result = grid_search(
+            lambda **p: DecisionTreeRegressor(**p),
+            {"max_depth": [1, 6], "min_samples_leaf": [2]},
+            X, y, k=4, scoring="r2",
+        )
+        assert result.best_params["max_depth"] == 6  # depth-1 underfits badly
+
+    def test_entries_sorted_best_first(self):
+        X, y = nonlinear_data()
+        result = grid_search(
+            lambda **p: DecisionTreeRegressor(**p),
+            {"max_depth": [1, 3, 8]},
+            X, y, k=3, scoring="r2",
+        )
+        scores = [s for _, s in result.table()]
+        assert scores == sorted(scores, reverse=True)
+        assert result.best_score == scores[0]
+
+    def test_scoring_variants(self):
+        X, y = nonlinear_data(n=60)
+        for scoring in ("r2", "rank", "neg_rmse"):
+            result = grid_search(
+                lambda **p: DecisionTreeRegressor(**p),
+                {"max_depth": [2, 4]}, X, y, k=3, scoring=scoring,
+            )
+            assert len(result.entries) == 2
+
+    def test_unknown_scoring(self):
+        X, y = nonlinear_data(n=40)
+        with pytest.raises(ModelError):
+            grid_search(
+                lambda **p: DecisionTreeRegressor(**p),
+                {"max_depth": [2]}, X, y, scoring="accuracy",
+            )
+
+    def test_empty_grid_rejected(self):
+        X, y = nonlinear_data(n=40)
+        with pytest.raises(ModelError):
+            grid_search(lambda **p: DecisionTreeRegressor(**p), {}, X, y)

@@ -1,0 +1,121 @@
+"""Tests for loop distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.orio.ast import ForLoop
+from repro.orio.interp import run_nest
+from repro.orio.parser import parse_loop_nest
+from repro.orio.transforms.distribute import LoopDistribution, distribution_legal
+
+N = 6
+
+BICG_SRC = """
+for (i = 0; i <= N-1; i++)
+  for (j = 0; j <= N-1; j++) {
+    s[j] = s[j] + r[i] * A[i*N+j];
+    q[i] = q[i] + A[i*N+j] * p[j];
+  }
+"""
+
+GEMVER_SRC = """
+for (i = 0; i <= N-1; i++)
+  for (j = 0; j <= N-1; j++) {
+    B[i*N+j] = A[i*N+j] + u1[i] * v1[j];
+    x[i] = x[i] + B[i*N+j] * y[j];
+  }
+"""
+
+# Backward flow dependence: stmt1 reads C[j-1], which stmt2 wrote at the
+# PREVIOUS iteration; running all of stmt1 first reads stale values.
+ILLEGAL_SRC = """
+for (i = 0; i <= N-1; i++)
+  for (j = 1; j <= N-1; j++) {
+    d[j] = d[j] + C[j-1];
+    C[j] = C[j] + d[j];
+  }
+"""
+
+
+def bicg_arrays(seed=0):
+    rng = np.random.default_rng(seed)
+    vec = lambda: rng.normal(size=N)
+    return {"A": rng.normal(size=N * N), "r": vec(), "p": vec(),
+            "s": vec(), "q": vec()}
+
+
+class TestLegality:
+    def test_bicg_legal(self):
+        nest = parse_loop_nest(BICG_SRC, consts={"N": N})
+        inner = nest.body[0]
+        assert isinstance(inner, ForLoop)
+        assert distribution_legal(inner)
+
+    def test_gemver_same_cell_flow_legal(self):
+        nest = parse_loop_nest(GEMVER_SRC, consts={"N": N})
+        assert distribution_legal(nest.body[0])
+
+    def test_cross_cell_dependence_illegal(self):
+        nest = parse_loop_nest(ILLEGAL_SRC, consts={"N": N})
+        assert not distribution_legal(nest.body[0])
+
+
+class TestTransformation:
+    def test_structure(self):
+        nest = parse_loop_nest(BICG_SRC, consts={"N": N})
+        out = LoopDistribution("j").apply(nest)
+        assert len(out.body) == 2  # two consecutive j loops inside i
+        assert all(isinstance(s, ForLoop) and s.var == "j" for s in out.body)
+        assert all(len(s.body) == 1 for s in out.body)
+
+    def test_bicg_equivalence(self):
+        nest = parse_loop_nest(BICG_SRC, consts={"N": N})
+        out = LoopDistribution("j").apply(nest)
+        ref = bicg_arrays()
+        run_nest(nest, ref)
+        got = bicg_arrays()
+        run_nest(out, got)
+        for name in ref:
+            np.testing.assert_allclose(got[name], ref[name], err_msg=name)
+
+    def test_gemver_equivalence(self):
+        nest = parse_loop_nest(GEMVER_SRC, consts={"N": N})
+        out = LoopDistribution("j").apply(nest)
+        rng = np.random.default_rng(2)
+        vec = lambda: rng.normal(size=N)
+        ref = {"A": rng.normal(size=N * N), "B": np.zeros(N * N), "u1": vec(),
+               "v1": vec(), "x": vec(), "y": vec()}
+        got = {k: v.copy() for k, v in ref.items()}
+        run_nest(nest, ref)
+        run_nest(out, got)
+        np.testing.assert_allclose(got["x"], ref["x"])
+        np.testing.assert_allclose(got["B"], ref["B"])
+
+    def test_illegal_rejected(self):
+        nest = parse_loop_nest(ILLEGAL_SRC, consts={"N": N})
+        with pytest.raises(TransformError):
+            LoopDistribution("j").apply(nest)
+
+    def test_forcing_illegal_changes_results(self):
+        nest = parse_loop_nest(ILLEGAL_SRC, consts={"N": N})
+        forced = LoopDistribution("j", force=True).apply(nest)
+        rng = np.random.default_rng(3)
+        ref = {"C": rng.normal(size=N), "d": rng.normal(size=N)}
+        got = {k: v.copy() for k, v in ref.items()}
+        run_nest(nest, ref)
+        run_nest(forced, got)
+        assert not np.allclose(got["d"], ref["d"])
+
+    def test_single_statement_noop(self):
+        src = "for (i = 0; i < 4; i++) for (j = 0; j < 4; j++) A[j] = A[j] + 1;"
+        nest = parse_loop_nest(src)
+        assert LoopDistribution("j").apply(nest) is nest
+
+    def test_unrolled_loop_rejected(self):
+        from repro.orio.transforms import UnrollJam
+
+        nest = parse_loop_nest(BICG_SRC, consts={"N": N})
+        unrolled = UnrollJam("j", 2).apply(nest)
+        with pytest.raises(TransformError):
+            LoopDistribution("j").apply(unrolled)

@@ -1,0 +1,102 @@
+"""Tests for the Orio evaluator (simulated measurement stage)."""
+
+import pytest
+
+from repro.errors import BudgetExhaustedError, EvaluationError
+from repro.kernels import get_kernel
+from repro.machines import GCC, ICC, POWER7, SANDYBRIDGE
+from repro.orio.evaluator import OrioEvaluator
+from repro.perf.simclock import SimClock
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def mm():
+    return get_kernel("mm", n=64)
+
+
+class TestMeasurement:
+    def test_measure_fields(self, mm):
+        ev = OrioEvaluator(mm, SANDYBRIDGE)
+        m = ev.measure(mm.space.default())
+        assert m.runtime_seconds > 0
+        assert m.compile_seconds > 0
+        assert m.evaluation_cost == pytest.approx(
+            m.compile_seconds + m.runtime_seconds
+        )
+
+    def test_repetitions_in_cost(self, mm):
+        ev = OrioEvaluator(mm, SANDYBRIDGE, repetitions=3)
+        m = ev.measure(mm.space.default())
+        assert m.repetitions == 3
+        assert m.evaluation_cost == pytest.approx(
+            m.compile_seconds + 3 * m.runtime_seconds
+        )
+
+    def test_deterministic(self, mm):
+        a = OrioEvaluator(mm, SANDYBRIDGE).measure(mm.space.default())
+        b = OrioEvaluator(mm, SANDYBRIDGE).measure(mm.space.default())
+        assert a.runtime_seconds == b.runtime_seconds
+
+    def test_foreign_config_rejected(self, mm):
+        lu = get_kernel("lu", n=32)
+        ev = OrioEvaluator(mm, SANDYBRIDGE)
+        with pytest.raises(EvaluationError):
+            ev.measure(lu.space.default())
+
+    def test_invalid_repetitions(self, mm):
+        with pytest.raises(EvaluationError):
+            OrioEvaluator(mm, SANDYBRIDGE, repetitions=0)
+
+    def test_icc_on_power_rejected(self, mm):
+        from repro.errors import CompilationError
+
+        with pytest.raises(CompilationError):
+            OrioEvaluator(mm, POWER7, compiler=ICC)
+
+    def test_atax_sums_phases(self):
+        atax = get_kernel("atax", n=64)
+        ev = OrioEvaluator(atax, SANDYBRIDGE)
+        m = ev.measure(atax.space.default())
+        assert m.runtime_seconds > 0
+
+
+class TestClockCharging:
+    def test_evaluate_advances_clock(self, mm):
+        clock = SimClock()
+        ev = OrioEvaluator(mm, SANDYBRIDGE, clock=clock)
+        m = ev.evaluate(mm.space.default())
+        assert clock.now == pytest.approx(m.evaluation_cost)
+        assert ev.n_evaluations == 1
+
+    def test_measure_does_not_advance(self, mm):
+        clock = SimClock()
+        ev = OrioEvaluator(mm, SANDYBRIDGE, clock=clock)
+        ev.measure(mm.space.default())
+        assert clock.now == 0.0
+
+    def test_budget_exhaustion(self, mm):
+        clock = SimClock(budget_seconds=1e-6)
+        ev = OrioEvaluator(mm, SANDYBRIDGE, clock=clock)
+        with pytest.raises(BudgetExhaustedError):
+            ev.evaluate(mm.space.default())
+
+    def test_callable_interface(self, mm):
+        ev = OrioEvaluator(mm, SANDYBRIDGE)
+        value = ev(mm.space.default())
+        assert value > 0
+        assert ev.clock.now > 0
+
+
+class TestBehaviour:
+    def test_openmp_speeds_up(self, mm):
+        serial = OrioEvaluator(mm, SANDYBRIDGE, threads=8, openmp=False)
+        parallel = OrioEvaluator(mm, SANDYBRIDGE, threads=8, openmp=True)
+        cfg = mm.space.default()
+        assert parallel.measure(cfg).runtime_seconds < serial.measure(cfg).runtime_seconds
+
+    def test_runtime_spread_across_configs(self, mm):
+        ev = OrioEvaluator(mm, SANDYBRIDGE)
+        rng = spawn_rng("eval-test", 0)
+        times = [ev.measure(c).runtime_seconds for c in mm.space.sample(rng, 25)]
+        assert max(times) / min(times) > 1.3  # configurations matter

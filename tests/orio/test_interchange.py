@@ -1,0 +1,145 @@
+"""Tests for loop interchange and its dependence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.orio.ast import loop_chain
+from repro.orio.interp import run_nest
+from repro.orio.parser import parse_loop_nest
+from repro.orio.transforms.interchange import (
+    Interchange,
+    dependence_directions,
+    interchange_legal,
+)
+
+N = 6
+
+MM_SRC = """
+for (i = 0; i <= N-1; i++)
+  for (j = 0; j <= N-1; j++)
+    for (k = 0; k <= N-1; k++)
+      C[i*N+j] = C[i*N+j] + A[i*N+k] * B[k*N+j];
+"""
+
+# A forward-carried stencil: s[i][j] depends on s[i-1][j].
+STENCIL_SRC = """
+for (i = 1; i <= N-1; i++)
+  for (j = 0; j <= N-1; j++)
+    S[i*N+j] = S[i*N+j] + S[i*N+j-N];
+"""
+
+# Anti-diagonal dependence: legal as (i,j), illegal interchanged.
+SKEW_SRC = """
+for (i = 1; i <= N-1; i++)
+  for (j = 1; j <= N-1; j++)
+    S[i*N+j] = S[i*N+j] + S[i*N+j-N+1];
+"""
+
+
+def mm_arrays(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"A": rng.normal(size=N * N), "B": rng.normal(size=N * N),
+            "C": rng.normal(size=N * N)}
+
+
+class TestDependenceAnalysis:
+    def test_mm_reduction_has_zero_distance_only(self):
+        nest = parse_loop_nest(MM_SRC, consts={"N": N})
+        vectors = dependence_directions(nest)
+        assert vectors == []  # C-C dependence has distance (0,0,0): no carried dep
+
+    def test_stencil_direction(self):
+        nest = parse_loop_nest(STENCIL_SRC, consts={"N": N})
+        vectors = dependence_directions(nest)
+        assert vectors is not None
+        assert (1, 0) in vectors or (-1, 0) in vectors
+
+    def test_variable_distance_is_conservative(self):
+        # LU-like: A[i][k] vs A[i][j] — distance depends on loop values.
+        src = """
+        for (i = 0; i <= N-1; i++)
+          for (j = 0; j <= N-1; j++)
+            for (k = 0; k <= N-1; k++)
+              A[i*N+j] = A[i*N+j] + A[i*N+k];
+        """
+        nest = parse_loop_nest(src, consts={"N": N})
+        assert dependence_directions(nest) is None
+
+
+class TestLegality:
+    def test_mm_fully_permutable(self):
+        nest = parse_loop_nest(MM_SRC, consts={"N": N})
+        for order in (["i", "j", "k"], ["k", "j", "i"], ["j", "k", "i"]):
+            assert interchange_legal(nest, order)
+
+    def test_stencil_swap_stays_legal(self):
+        # (1, 0) permuted to (0, 1): still lexicographically positive.
+        nest = parse_loop_nest(STENCIL_SRC, consts={"N": N})
+        assert interchange_legal(nest, ["j", "i"])
+
+    def test_skewed_swap_illegal(self):
+        # (1, -1) permuted to (-1, 1): reversed dependence.
+        nest = parse_loop_nest(SKEW_SRC, consts={"N": N})
+        assert interchange_legal(nest, ["i", "j"])
+        assert not interchange_legal(nest, ["j", "i"])
+
+    def test_conservative_case_only_identity(self):
+        src = """
+        for (i = 0; i <= N-1; i++)
+          for (j = 0; j <= N-1; j++)
+            for (k = 0; k <= N-1; k++)
+              A[i*N+j] = A[i*N+j] + A[i*N+k];
+        """
+        nest = parse_loop_nest(src, consts={"N": N})
+        assert interchange_legal(nest, ["i", "j", "k"])
+        assert not interchange_legal(nest, ["j", "i", "k"])
+
+    def test_non_permutation_rejected(self):
+        nest = parse_loop_nest(MM_SRC, consts={"N": N})
+        with pytest.raises(TransformError):
+            interchange_legal(nest, ["i", "j"])
+
+
+class TestInterchangeSemantics:
+    @pytest.mark.parametrize("order", [["j", "i", "k"], ["k", "i", "j"], ["j", "k", "i"]])
+    def test_mm_permutations_preserve_semantics(self, order):
+        nest = parse_loop_nest(MM_SRC, consts={"N": N})
+        permuted = Interchange(order).apply(nest)
+        assert [l.var for l in loop_chain(permuted)] == order
+        ref = mm_arrays()
+        run_nest(nest, ref)
+        got = mm_arrays()
+        run_nest(permuted, got)
+        np.testing.assert_allclose(got["C"], ref["C"])
+
+    def test_identity_is_noop(self):
+        nest = parse_loop_nest(MM_SRC, consts={"N": N})
+        assert Interchange(["i", "j", "k"]).apply(nest) is nest
+
+    def test_illegal_interchange_raises(self):
+        nest = parse_loop_nest(SKEW_SRC, consts={"N": N})
+        with pytest.raises(TransformError):
+            Interchange(["j", "i"]).apply(nest)
+
+    def test_illegal_interchange_actually_changes_results(self):
+        """The legality test is not vacuous: forcing the rejected
+        interchange really does corrupt the computation."""
+        nest = parse_loop_nest(SKEW_SRC, consts={"N": N})
+        forced = Interchange(["j", "i"], force=True).apply(nest)
+        rng = np.random.default_rng(3)
+        ref = {"S": rng.normal(size=N * N)}
+        got = {"S": ref["S"].copy()}
+        run_nest(nest, ref)
+        run_nest(forced, got)
+        assert not np.allclose(got["S"], ref["S"])
+
+    def test_triangular_nest_rejected(self):
+        src = """
+        for (k = 0; k <= N-1; k++)
+          for (i = k+1; i <= N-1; i++)
+            B[i] = B[i] + 1;
+        """
+        nest = parse_loop_nest(src, consts={"N": N})
+        with pytest.raises(TransformError):
+            Interchange(["i", "k"]).apply(nest)

@@ -1,0 +1,139 @@
+"""Tests for the annotated-C parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.orio.ast import ArrayRef, Assign, BinOp, ForLoop, IntLit, Var
+from repro.orio.parser import parse_loop_nest, parse_statement, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        toks = tokenize("for (i = 0; i < 10; i++)")
+        assert [t.text for t in toks[:4]] == ["for", "(", "i", "="]
+
+    def test_comments_skipped(self):
+        toks = tokenize("a = 1; // comment\nb = 2; /* block */ c = 3;")
+        assert "comment" not in [t.text for t in toks]
+        assert len([t for t in toks if t.text == "="]) == 3
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks] == [1, 2, 3]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a = @;")
+
+    def test_compound_operators(self):
+        toks = tokenize("i += 2; j++; k <= 3")
+        texts = [t.text for t in toks]
+        assert "+=" in texts and "++" in texts and "<=" in texts
+
+
+class TestStatements:
+    def test_simple_assignment(self):
+        stmt = parse_statement("x = 3 + 4;")
+        assert stmt == Assign(Var("x"), IntLit(7))
+
+    def test_plus_equals(self):
+        stmt = parse_statement("t += 1;")
+        assert isinstance(stmt, Assign) and stmt.op == "+="
+
+    def test_array_assignment(self):
+        stmt = parse_statement("A[i] = B[i] + 1;", consts={})
+        assert isinstance(stmt.target, ArrayRef)
+
+    def test_multi_dim_array(self):
+        stmt = parse_statement("A[i][j] = 0;")
+        assert stmt.target == ArrayRef("A", (Var("i"), Var("j")))
+
+    def test_precedence(self):
+        stmt = parse_statement("x = 2 + 3 * 4;")
+        assert stmt.value == IntLit(14)
+
+    def test_parentheses(self):
+        stmt = parse_statement("x = (2 + 3) * 4;")
+        assert stmt.value == IntLit(20)
+
+    def test_unary_minus(self):
+        stmt = parse_statement("x = -3;")
+        assert stmt.value == IntLit(-3)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_statement("x = 3")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("x = 3; y")
+
+
+class TestForLoops:
+    def test_canonical_loop(self):
+        loop = parse_loop_nest("for (i = 0; i < 10; i++) A[i] = 0;")
+        assert loop.var == "i"
+        assert loop.lower == IntLit(0)
+        assert loop.upper == IntLit(10)
+        assert loop.step == 1
+
+    def test_le_bound_becomes_exclusive(self):
+        loop = parse_loop_nest("for (i = 0; i <= 9; i++) A[i] = 0;")
+        assert loop.upper == IntLit(10)
+
+    def test_consts_folded(self):
+        loop = parse_loop_nest("for (i = 0; i <= N-1; i++) A[i] = 0;", consts={"N": 100})
+        assert loop.upper == IntLit(100)
+
+    def test_step(self):
+        loop = parse_loop_nest("for (i = 0; i < 10; i += 2) A[i] = 0;")
+        assert loop.step == 2
+
+    def test_block_body(self):
+        loop = parse_loop_nest("for (i = 0; i < 4; i++) { A[i] = 0; B[i] = 1; }")
+        assert len(loop.body) == 2
+
+    def test_nested_mm(self):
+        src = """
+        for (i = 0; i <= N-1; i++)
+          for (j = 0; j <= N-1; j++)
+            for (k = 0; k <= N-1; k++)
+              C[i*N+j] = C[i*N+j] + A[i*N+k] * B[k*N+j];
+        """
+        loop = parse_loop_nest(src, consts={"N": 8})
+        assert loop.var == "i"
+        inner = loop.body[0]
+        assert isinstance(inner, ForLoop) and inner.var == "j"
+
+    def test_triangular_lower_bound(self):
+        src = "for (i = k+1; i < 10; i++) A[i] = 0;"
+        loop = parse_loop_nest(src)
+        assert loop.lower == BinOp("+", Var("k"), IntLit(1))
+
+    def test_condition_variable_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_loop_nest("for (i = 0; j < 10; i++) A[i] = 0;")
+
+    def test_increment_variable_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_loop_nest("for (i = 0; i < 10; j++) A[i] = 0;")
+
+    def test_wrong_comparison(self):
+        with pytest.raises(ParseError):
+            parse_loop_nest("for (i = 10; i > 0; i++) A[i] = 0;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_loop_nest("for (i = 0; i < 4; i++) { A[i] = 0;")
+
+    def test_top_level_must_be_loop(self):
+        with pytest.raises(ParseError):
+            parse_loop_nest("x = 3;")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_statement("x = 1;\ny = ;")
+        except ParseError as exc:
+            assert "line 2" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

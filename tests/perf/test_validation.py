@@ -1,0 +1,63 @@
+"""Tests for machine-model calibration — the physical-sanity bounds."""
+
+import pytest
+
+from repro.machines import MACHINES, SANDYBRIDGE, WESTMERE, XEON_PHI
+from repro.perf.validation import validate_machine, validation_table
+
+
+@pytest.fixture(scope="module")
+def validations():
+    return {name: validate_machine(spec) for name, spec in MACHINES.items()}
+
+
+class TestStreamTriad:
+    def test_single_core_bandwidth_fraction_plausible(self, validations):
+        # One core of a big OoO chip reaches a modest fraction of the
+        # chip's DRAM bandwidth — never more than the serial cap, never
+        # a negligible sliver.
+        for name in ("westmere", "sandybridge", "power7"):
+            v = validations[name]
+            assert 0.05 < v.triad_fraction < 0.6, name
+
+    def test_absolute_bandwidth_ordering(self, validations):
+        # Newer/faster memory systems stream faster.
+        assert (
+            validations["sandybridge"].triad_bandwidth_gbs
+            > validations["westmere"].triad_bandwidth_gbs
+        )
+
+    def test_inorder_cores_stream_poorly(self, validations):
+        # Single-thread Xeon Phi streaming is notoriously bad (no OoO
+        # MLP); it must sit far below the big cores.
+        assert (
+            validations["xeonphi"].triad_bandwidth_gbs
+            < 0.3 * validations["westmere"].triad_bandwidth_gbs
+        )
+
+
+class TestDgemm:
+    def test_tuned_efficiency_band(self, validations):
+        # A decently-blocked (not exhaustively tuned) DGEMM on old gcc:
+        # a sizeable but not heroic fraction of single-core peak.
+        for name in ("westmere", "sandybridge", "power7", "xgene"):
+            v = validations[name]
+            assert 0.05 < v.dgemm_efficiency < 0.8, name
+
+    def test_blocking_always_helps(self, validations):
+        for name, v in validations.items():
+            assert v.blocking_speedup > 1.0, name
+
+    def test_blocking_matters_most_on_phi(self, validations):
+        # No L3 + in-order: untiled code pays catastrophically.
+        phi = validations["xeonphi"].blocking_speedup
+        others = [v.blocking_speedup for n, v in validations.items() if n != "xeonphi"]
+        assert phi > max(others)
+
+
+class TestReport:
+    def test_table_renders_all_machines(self):
+        text = validation_table()
+        for name in MACHINES:
+            assert name in text
+        assert "triad GB/s" in text

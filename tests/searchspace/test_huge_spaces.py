@@ -1,0 +1,67 @@
+"""Property tests for spaces beyond int64 (the gcc-flag space)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.searchspace import BooleanParameter, IntegerParameter, SearchSpace
+
+
+def huge_space(n_bools=80, n_ints=20):
+    params = [BooleanParameter(f"f{i}") for i in range(n_bools)]
+    params += [IntegerParameter(f"p{i}", 0, 7) for i in range(n_ints)]
+    return SearchSpace(params, name="huge")
+
+
+class TestHugeSpaces:
+    def test_cardinality_exceeds_int64(self):
+        space = huge_space()
+        assert space.cardinality > 2**63
+        assert space.cardinality == 2**80 * 8**20
+
+    def test_sampling_unique_and_in_range(self):
+        space = huge_space()
+        rng = np.random.default_rng(0)
+        configs = space.sample(rng, 300)
+        indices = [c.index for c in configs]
+        assert len(set(indices)) == 300
+        assert all(0 <= i < space.cardinality for i in indices)
+
+    def test_roundtrip_on_samples(self):
+        space = huge_space()
+        rng = np.random.default_rng(1)
+        for cfg in space.sample(rng, 30):
+            assert space.config_at(cfg.index) == cfg
+
+    def test_deterministic(self):
+        space = huge_space()
+        a = space.sample(np.random.default_rng(2), 50)
+        b = space.sample(np.random.default_rng(2), 50)
+        assert a == b
+
+    def test_digit_marginals_uniform(self):
+        """Each axis of the big-int sampler must be marginally uniform."""
+        space = huge_space(n_bools=4, n_ints=2)
+        # Force the big-int path by embedding in a genuinely huge space.
+        big = huge_space()
+        rng = np.random.default_rng(3)
+        configs = big.sample(rng, 1200)
+        trues = sum(c["f0"] for c in configs)
+        assert 480 < trues < 720  # ~binomial(1200, .5)
+        values = [c["p0"] for c in configs]
+        counts = np.bincount(values, minlength=8)
+        assert counts.min() > 90  # expected 150 each
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**200))
+    def test_property_index_decode_encode(self, raw):
+        space = huge_space()
+        index = raw % space.cardinality
+        assert space.config_at(index).index == index
+
+    def test_encode_many_shape(self):
+        space = huge_space()
+        rng = np.random.default_rng(4)
+        X = space.encode_many(space.sample(rng, 10))
+        assert X.shape == (10, space.dimension)

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_transfer_arguments(self):
+        args = build_parser().parse_args(
+            ["transfer", "LU", "westmere", "sandybridge", "--nmax", "10"]
+        )
+        assert args.problem == "LU"
+        assert args.nmax == 10
+        assert args.compiler == "gcc"
+
+    def test_invalid_compiler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["transfer", "LU", "westmere", "sandybridge", "--compiler", "clang"]
+            )
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sandybridge" in out and "atax" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Loop unrolling" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "all cells match" in capsys.readouterr().out
+
+    def test_transfer_small(self, capsys):
+        code = main(
+            ["transfer", "LU", "westmere", "sandybridge",
+             "--nmax", "12", "--seed", "cli-test"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RSb" in out and "correlation" in out

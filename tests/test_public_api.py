@@ -1,0 +1,78 @@
+"""Public-API consistency checks.
+
+Every ``__all__`` name must resolve; the lazy top-level re-exports must
+work; the version is single-sourced.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.utils",
+    "repro.searchspace",
+    "repro.ml",
+    "repro.machines",
+    "repro.orio",
+    "repro.orio.transforms",
+    "repro.kernels",
+    "repro.perf",
+    "repro.search",
+    "repro.transfer",
+    "repro.tuner",
+    "repro.tuner.techniques",
+    "repro.miniapps",
+    "repro.experiments",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_names_resolve(self, name):
+        module = importlib.import_module(name)
+        for export in getattr(module, "__all__", []):
+            assert hasattr(module, export), f"{name}.{export} missing"
+
+    def test_every_submodule_imports(self):
+        """Walk the whole tree: no module may fail to import."""
+        failures = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            try:
+                importlib.import_module(info.name)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                failures.append((info.name, exc))
+        assert not failures
+
+
+class TestLazyTopLevel:
+    def test_flat_api(self):
+        assert repro.TransferSession is not None
+        assert repro.get_machine("sandybridge").cores == 8
+        assert repro.get_kernel("lu").name == "LU"
+        assert repro.RandomForestRegressor is not None
+        assert repro.SearchSpace is not None
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        import repro.errors as errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and name != "ReproError":
+                assert issubclass(obj, errors.ReproError), name

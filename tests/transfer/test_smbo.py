@@ -1,0 +1,95 @@
+"""Tests for sequential model-based optimization with transfer."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.kernels import get_kernel
+from repro.machines import SANDYBRIDGE, WESTMERE
+from repro.orio.evaluator import OrioEvaluator
+from repro.perf.simclock import SimClock
+from repro.search import SharedStream, random_search
+from repro.transfer.smbo import smbo_search
+from repro.transfer.surrogate import Surrogate
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    # Large enough that the working set exceeds L2 and tiling/unrolling
+    # genuinely matter (a 128^2 problem fits in cache and is flat noise).
+    return get_kernel("lu", n=1024)
+
+
+@pytest.fixture(scope="module")
+def source(kernel):
+    ev = OrioEvaluator(kernel, WESTMERE, clock=SimClock())
+    trace = random_search(ev, SharedStream(kernel.space, seed="smbo"), nmax=40)
+    data = trace.training_data()
+    return data, Surrogate(kernel.space).fit(data)
+
+
+def evaluator(kernel):
+    return OrioEvaluator(kernel, SANDYBRIDGE, clock=SimClock())
+
+
+class TestSmbo:
+    def test_runs_to_budget(self, kernel):
+        trace = smbo_search(evaluator(kernel), kernel.space, nmax=20,
+                            n_initial=6, pool_size=300, seed="t1")
+        assert trace.n_evaluations == 20
+        assert trace.algorithm == "SMBO-ei"
+
+    def test_no_duplicate_evaluations(self, kernel):
+        trace = smbo_search(evaluator(kernel), kernel.space, nmax=25,
+                            n_initial=5, pool_size=300, seed="t2")
+        indices = [c.index for c in trace.configs()]
+        assert len(set(indices)) == len(indices)
+
+    def test_beats_random_search(self, kernel):
+        rs = random_search(evaluator(kernel),
+                           SharedStream(kernel.space, seed="smbo-rs"), nmax=30)
+        smbo = smbo_search(evaluator(kernel), kernel.space, nmax=30,
+                           n_initial=10, pool_size=800, seed="t3")
+        assert smbo.best_runtime <= rs.best_runtime * 1.25
+
+    def test_transfer_seeding_improves_early_quality(self, kernel, source):
+        _, surrogate = source
+        cold = smbo_search(evaluator(kernel), kernel.space, nmax=12,
+                           n_initial=8, pool_size=500, seed="t4")
+        warm = smbo_search(evaluator(kernel), kernel.space, nmax=12,
+                           n_initial=8, pool_size=500, seed="t4",
+                           source_surrogate=surrogate)
+        import numpy as np
+
+        cold_early = float(np.mean([r.runtime for r in cold.records[:8]]))
+        warm_early = float(np.mean([r.runtime for r in warm.records[:8]]))
+        assert warm_early <= cold_early * 1.05  # seeded design is not worse
+        assert "transfer" in warm.algorithm
+
+    def test_source_data_blending(self, kernel, source):
+        data, surrogate = source
+        trace = smbo_search(evaluator(kernel), kernel.space, nmax=15,
+                            n_initial=5, pool_size=300, seed="t5",
+                            source_surrogate=surrogate, source_data=data)
+        assert trace.n_evaluations == 15
+
+    @pytest.mark.parametrize("acq", ["ei", "lcb", "mean"])
+    def test_acquisitions(self, kernel, acq):
+        trace = smbo_search(evaluator(kernel), kernel.space, nmax=10,
+                            n_initial=4, pool_size=200, acquisition=acq, seed="t6")
+        assert trace.n_evaluations == 10
+
+    def test_validation(self, kernel):
+        with pytest.raises(SearchError):
+            smbo_search(evaluator(kernel), kernel.space, nmax=0)
+        with pytest.raises(SearchError):
+            smbo_search(evaluator(kernel), kernel.space, nmax=10, n_initial=20)
+        with pytest.raises(SearchError):
+            smbo_search(evaluator(kernel), kernel.space, acquisition="ucb")
+        with pytest.raises(SearchError):
+            smbo_search(evaluator(kernel), kernel.space, refit_every=0)
+
+    def test_budget_exhaustion(self, kernel):
+        ev = OrioEvaluator(kernel, SANDYBRIDGE, clock=SimClock(3.0))
+        trace = smbo_search(ev, kernel.space, nmax=50, n_initial=5,
+                            pool_size=200, seed="t7")
+        assert trace.exhausted_budget

@@ -1,0 +1,94 @@
+"""Tests for the surrogate model wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.kernels import get_kernel
+from repro.machines import SANDYBRIDGE
+from repro.ml import RidgeRegressor
+from repro.orio.evaluator import OrioEvaluator
+from repro.transfer.surrogate import Surrogate
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import spearman
+
+
+@pytest.fixture(scope="module")
+def training():
+    kernel = get_kernel("lu", n=128)
+    ev = OrioEvaluator(kernel, SANDYBRIDGE)
+    rng = spawn_rng("surrogate-test", 0)
+    configs = kernel.space.sample(rng, 80)
+    return kernel, [(c, ev.measure(c).runtime_seconds) for c in configs]
+
+
+class TestFitting:
+    def test_predictions_positive(self, training):
+        kernel, data = training
+        s = Surrogate(kernel.space).fit(data)
+        rng = spawn_rng("surrogate-test", 1)
+        preds = s.predict(kernel.space.sample(rng, 50))
+        assert np.all(preds > 0)
+
+    def test_rank_quality_on_held_out(self, training):
+        kernel, data = training
+        s = Surrogate(kernel.space).fit(data[:60])
+        held = data[60:]
+        preds = s.predict([c for c, _ in held])
+        truth = [y for _, y in held]
+        assert spearman(preds, truth) > 0.4  # model captures the landscape
+
+    def test_unfitted_predict_raises(self, training):
+        kernel, _ = training
+        with pytest.raises(NotFittedError):
+            Surrogate(kernel.space).predict([kernel.space.default()])
+
+    def test_empty_training_rejected(self, training):
+        kernel, _ = training
+        with pytest.raises(ModelError):
+            Surrogate(kernel.space).fit([])
+
+    def test_custom_learner(self, training):
+        kernel, data = training
+        s = Surrogate(kernel.space, learner=RidgeRegressor()).fit(data)
+        assert s.is_fitted
+
+    def test_learner_and_factory_mutually_exclusive(self, training):
+        kernel, _ = training
+        with pytest.raises(ModelError):
+            Surrogate(kernel.space, learner=RidgeRegressor(),
+                      learner_factory=RidgeRegressor)
+
+    def test_log_target_rejects_nonpositive(self, training):
+        kernel, data = training
+        bad = [(data[0][0], 0.0)] + data[1:]
+        with pytest.raises(ModelError):
+            Surrogate(kernel.space).fit(bad)
+
+    def test_linear_target_allows_any(self, training):
+        kernel, data = training
+        bad = [(data[0][0], -1.0)] + list(data[1:])
+        Surrogate(kernel.space, log_target=False).fit(bad)
+
+
+class TestOverheadModel:
+    def test_fit_seconds_grow_with_data(self, training):
+        kernel, data = training
+        small = Surrogate(kernel.space).fit(data[:20]).fit_seconds
+        large = Surrogate(kernel.space).fit(data).fit_seconds
+        assert large > small
+
+    def test_predict_seconds_grow_with_n(self, training):
+        kernel, _ = training
+        s = Surrogate(kernel.space)
+        assert s.predict_seconds(10_000) > s.predict_seconds(100)
+
+    def test_predict_seconds_negative_rejected(self, training):
+        kernel, _ = training
+        with pytest.raises(ModelError):
+            Surrogate(kernel.space).predict_seconds(-1)
+
+    def test_predict_empty(self, training):
+        kernel, data = training
+        s = Surrogate(kernel.space).fit(data)
+        assert s.predict([]).shape == (0,)

@@ -1,0 +1,47 @@
+"""Tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.search.result import EvaluationRecord, SearchTrace
+from repro.searchspace import IntegerParameter, SearchSpace
+from repro.utils.csvio import trace_to_rows, write_csv, write_traces_csv
+
+
+@pytest.fixture
+def trace():
+    space = SearchSpace([IntegerParameter("a", 0, 9)])
+    t = SearchTrace("RS")
+    t.add(EvaluationRecord(space.config_at(3), 5.0, 1.0))
+    t.add(EvaluationRecord(space.config_at(7), 3.0, 2.5))
+    t.add(EvaluationRecord(space.config_at(1), 4.0, 3.0))
+    return t
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv", ["a", "b"], [[1, 2], [3, 4]])
+        rows = list(csv.reader(path.open()))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "x.csv", ["a"], [[1]])
+        assert path.exists()
+
+    def test_row_width_checked(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "x.csv", ["a", "b"], [[1]])
+
+
+class TestTraceRows:
+    def test_best_so_far_column(self, trace):
+        rows = trace_to_rows(trace)
+        assert [r[5] for r in rows] == [5.0, 3.0, 3.0]
+
+    def test_long_format_multi_trace(self, trace, tmp_path):
+        other = SearchTrace("RSb")
+        path = write_traces_csv(tmp_path / "traces.csv", [trace, other])
+        rows = list(csv.reader(path.open()))
+        assert rows[0][0] == "algorithm"
+        assert len(rows) == 1 + trace.n_evaluations

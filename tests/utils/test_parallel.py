@@ -1,0 +1,54 @@
+"""Tests for the parallel map utility."""
+
+import os
+
+import pytest
+
+from repro.utils.parallel import default_workers, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def failing(x: int) -> int:
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(square, [1, 2, 3], n_workers=1) == [1, 4, 9]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(40))
+        assert parallel_map(square, items, n_workers=4) == [i * i for i in items]
+
+    def test_parallel_equals_serial(self):
+        items = list(range(25))
+        assert parallel_map(square, items, n_workers=3) == parallel_map(
+            square, items, n_workers=1
+        )
+
+    def test_empty(self):
+        assert parallel_map(square, [], n_workers=4) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(square, [7], n_workers=8) == [49]
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            parallel_map(failing, [1, 2, 3, 4], n_workers=2)
+        with pytest.raises(ValueError):
+            parallel_map(failing, [1, 2, 3, 4], n_workers=1)
+
+    def test_default_workers_bounds(self):
+        w = default_workers()
+        assert 1 <= w <= 8
+        assert w <= (os.cpu_count() or 1)
+
+    def test_generator_input(self):
+        assert parallel_map(square, (i for i in range(5)), n_workers=2) == [
+            0, 1, 4, 9, 16,
+        ]
