@@ -2,19 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench faults report examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q tests/reliability
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+faults:
+	$(PYTHON) -m pytest -x -q benchmarks/test_ablations.py::test_fault_ablation --benchmark-only
 
 report:
 	$(PYTHON) -m repro report --output EXPERIMENTS.generated.md

@@ -92,6 +92,27 @@ def test_online(benchmark, save_artifact):
     assert by_label["RSb+online"].performance >= by_label["RSb"].performance * 0.85
 
 
+def test_fault_ablation(benchmark, save_artifact):
+    """Regenerate the robustness ablation: RSb under injected faults at
+    0/5/10/20% rates, fail-fast vs retry/backoff recovery."""
+    from repro.experiments.ablations import run_fault_ablation
+
+    result = benchmark.pedantic(
+        lambda: run_fault_ablation(seed=0), rounds=1, iterations=1
+    )
+    save_artifact("ablation_faults", result.render())
+    rows = {r.label: r for r in result.rows}
+    assert len(result.rows) == 8  # 4 rates x {fail-fast, retries}
+    # The fault-free cells are identical: retries never trigger.
+    clean_ff = rows["rate=0% (fail-fast)"]
+    clean_rt = rows["rate=0% (retries)"]
+    assert (clean_rt.performance, clean_rt.search_time) == (
+        clean_ff.performance, clean_ff.search_time,
+    )
+    # Even at 20% faults with retries the search finds a real optimum.
+    assert rows["rate=20% (retries)"].performance > 0.0
+
+
 def test_machine_calibration(benchmark, save_artifact):
     """Regenerate the machine-model calibration report (the evidence
     that the simulated Table II machines behave like their namesakes)."""

@@ -63,8 +63,65 @@ class BudgetExhaustedError(EvaluationError):
     """
 
 
+class EvaluationFailure(EvaluationError):
+    """One evaluation failed in a way a robust harness can handle.
+
+    Subclasses describe *operational* failures (glitches, crashes,
+    timeouts, outages) rather than misuse: a search or a
+    :class:`repro.reliability.ResilientEvaluator` may retry, censor, or
+    skip the configuration and keep going, whereas plain
+    :class:`EvaluationError` still signals a caller bug.
+    """
+
+
+class TransientEvaluationError(EvaluationFailure):
+    """A one-off measurement glitch; retrying the evaluation may succeed."""
+
+
+class EvaluationTimeout(EvaluationFailure):
+    """The variant ran past the runtime cap; the measurement is censored.
+
+    ``censored_at`` is the cap in simulated seconds — a *lower bound* on
+    the true runtime, usable as a pessimistic stand-in value.
+    """
+
+    def __init__(self, message: str, censored_at: float) -> None:
+        self.censored_at = float(censored_at)
+        super().__init__(message)
+
+
+class MachineOutageError(EvaluationFailure):
+    """The target machine is down; retry after the recovery horizon.
+
+    ``retry_after`` is how many simulated seconds until the machine is
+    expected back; waiting it out is a legitimate (clock-charged)
+    recovery strategy.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        self.retry_after = float(retry_after)
+        super().__init__(message)
+
+
+class CompileCrashError(CompilationError, EvaluationFailure):
+    """The compiler crashed on a variant; deterministic for that config.
+
+    Both a :class:`CompilationError` (what happened) and an
+    :class:`EvaluationFailure` (how to handle it): retrying is useless,
+    the configuration should be censored or skipped.
+    """
+
+
 class SearchError(ReproError):
     """A search algorithm was configured or driven incorrectly."""
+
+
+class StreamExhaustedError(SearchError):
+    """A shared configuration stream ran out of unseen configurations."""
+
+
+class CheckpointError(ReproError):
+    """A search checkpoint could not be written, read, or applied."""
 
 
 class ExperimentError(ReproError):

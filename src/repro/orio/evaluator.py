@@ -71,6 +71,8 @@ class OrioEvaluator:
     ) -> None:
         if repetitions < 1:
             raise EvaluationError(f"repetitions must be >= 1, got {repetitions}")
+        if quirk_sigma is not None and quirk_sigma < 0:
+            raise EvaluationError(f"quirk_sigma must be >= 0, got {quirk_sigma}")
         compiler.check_supports(machine)
         self.kernel = kernel
         self.machine = machine

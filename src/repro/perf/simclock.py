@@ -55,6 +55,24 @@ class SimClock:
     def reset(self) -> None:
         self._now = 0.0
 
+    # ------------------------------------------------------------------
+    # Checkpoint support (repro.reliability.checkpoint)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the clock."""
+        return {"now": self._now, "budget_seconds": self.budget_seconds}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot taken with :meth:`state_dict`."""
+        self._now = float(state["now"])
+        self.budget_seconds = state["budget_seconds"]
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SimClock":
+        clock = cls(state["budget_seconds"])
+        clock._now = float(state["now"])
+        return clock
+
     def __repr__(self) -> str:
         budget = "unbounded" if self.budget_seconds is None else f"{self.budget_seconds:g}s"
         return f"SimClock(now={self._now:g}s, budget={budget})"

@@ -1,0 +1,213 @@
+"""Resilient evaluation: retry, back off, trip breakers, degrade.
+
+A :class:`ResilientEvaluator` wraps any evaluator following the
+:class:`repro.orio.evaluator.OrioEvaluator` protocol and turns the
+recoverable :class:`~repro.errors.EvaluationFailure` exceptions into
+policy-driven behavior:
+
+* **transient glitches** are retried with exponential backoff, every
+  backoff interval charged to the :class:`~repro.perf.simclock.SimClock`
+  (robustness is not free — it shows up in search-time speedups);
+* **machine outages** are waited out (clock-charged) up to the retry
+  budget;
+* **timeouts** yield a *censored* result — the runtime cap is a lower
+  bound on the true runtime — and are not retried;
+* **compile crashes** are deterministic per configuration and are not
+  retried;
+* a per-machine :class:`~repro.reliability.policy.CircuitBreaker` stops
+  hammering a host after repeated consecutive failures.
+
+When recovery fails, the evaluator *degrades gracefully*: instead of
+raising, it returns a :class:`FailedMeasurement` so the search records
+the configuration as failed and keeps walking its stream — one bad
+configuration no longer kills an RS/RSp/RSb run or desynchronizes the
+common-random-numbers comparison.  Only
+:class:`~repro.errors.BudgetExhaustedError` still propagates: when the
+simulated budget is gone, the search is over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import (
+    BudgetExhaustedError,
+    CompileCrashError,
+    EvaluationTimeout,
+    MachineOutageError,
+    TransientEvaluationError,
+)
+from repro.reliability.policy import CircuitBreaker, RetryPolicy
+from repro.reliability.stats import ReliabilityStats
+from repro.searchspace.space import Configuration
+
+__all__ = ["FailedMeasurement", "ResilientEvaluator"]
+
+
+@dataclass(frozen=True)
+class FailedMeasurement:
+    """A gracefully degraded evaluation outcome.
+
+    Mirrors :class:`repro.orio.evaluator.Measurement` closely enough for
+    the search layer (``runtime_seconds``, ``evaluation_cost``) while
+    flagging itself via ``failed=True``.  ``runtime_seconds`` is the
+    censored bound for timeouts and the penalty value otherwise; the
+    cost of the failed attempts was already charged to the clock when
+    they happened, so ``evaluation_cost`` is zero.
+    """
+
+    config: Configuration
+    runtime_seconds: float
+    fault: str  # which failure mode ended the attempt sequence
+    attempts: int  # how many evaluation attempts were made
+    censored: bool = False
+    compile_seconds: float = 0.0
+    repetitions: int = 0
+    failed: bool = True
+
+    @property
+    def evaluation_cost(self) -> float:
+        return 0.0
+
+
+class ResilientEvaluator:
+    """Wrap an evaluator with retry, circuit-breaking, and degradation.
+
+    Parameters
+    ----------
+    evaluator:
+        The wrapped evaluator (typically an
+        :class:`~repro.reliability.faults.FaultyEvaluator` in tests and
+        ablations, or a real evaluator in production use).
+    retry:
+        Backoff policy for transient failures and outage waits; defaults
+        to 3 retries at 1 s doubling.  Use :meth:`RetryPolicy.none` to
+        fail fast.
+    circuit:
+        Optional per-machine breaker; ``None`` disables breaking.
+    penalty_runtime:
+        Objective value recorded for unrecovered, uncensored failures
+        (``inf`` by default — failed configs can never look attractive).
+    wait_for_outage:
+        Whether outages are waited out (clock-charged) or degrade
+        immediately.
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        retry: RetryPolicy | None = None,
+        circuit: CircuitBreaker | None = None,
+        penalty_runtime: float = float("inf"),
+        wait_for_outage: bool = True,
+        stats: ReliabilityStats | None = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.circuit = circuit
+        self.penalty_runtime = penalty_runtime
+        self.wait_for_outage = wait_for_outage
+        self.stats = stats if stats is not None else ReliabilityStats()
+
+    # Pass-through surface of the evaluator protocol -------------------
+    @property
+    def clock(self):
+        return self.evaluator.clock
+
+    def __getattr__(self, name: str):
+        return getattr(self.evaluator, name)
+
+    def measure(self, config):
+        return self.evaluator.measure(config)
+
+    # ------------------------------------------------------------------
+    def _record_failure(self) -> None:
+        if self.circuit is not None:
+            self.circuit.record_failure(self.clock.now)
+
+    def _degrade(
+        self, config, fault: str, attempts: int, censored_at: float | None = None
+    ) -> FailedMeasurement:
+        self.stats.degraded += 1
+        self.stats.record_failure_mode(fault)
+        if censored_at is not None:
+            self.stats.censored += 1
+        return FailedMeasurement(
+            config=config,
+            runtime_seconds=self.penalty_runtime if censored_at is None else censored_at,
+            fault=fault,
+            attempts=attempts,
+            censored=censored_at is not None,
+        )
+
+    def evaluate(self, config):
+        """Evaluate with recovery; returns a measurement, never raises a
+        recoverable failure (only :class:`BudgetExhaustedError` and
+        genuine programming errors propagate)."""
+        if self.circuit is not None and not self.circuit.allow(self.clock.now):
+            self.stats.short_circuited += 1
+            return self._degrade(config, "circuit-open", attempts=0)
+        retries_used = 0
+        attempts = 0
+        while True:
+            attempts += 1
+            self.stats.attempts += 1
+            try:
+                measurement = self.evaluator.evaluate(config)
+            except BudgetExhaustedError:
+                raise
+            except EvaluationTimeout as exc:
+                self._record_failure()
+                return self._degrade(
+                    config, "timeout", attempts, censored_at=exc.censored_at
+                )
+            except CompileCrashError:
+                self._record_failure()
+                return self._degrade(config, "compile-crash", attempts)
+            except MachineOutageError as exc:
+                self._record_failure()
+                if not self.wait_for_outage or retries_used >= self.retry.max_retries:
+                    return self._degrade(config, "outage", attempts)
+                # Wait out the recovery horizon on the simulated clock;
+                # an unaffordable wait exhausts the budget for real.
+                self.clock.advance(exc.retry_after)
+                self.stats.outage_wait_seconds += exc.retry_after
+                self.stats.retries += 1
+                retries_used += 1
+            except TransientEvaluationError:
+                self._record_failure()
+                if retries_used >= self.retry.max_retries:
+                    return self._degrade(config, "transient", attempts)
+                backoff = self.retry.backoff(retries_used)
+                self.clock.advance(backoff)
+                self.stats.backoff_seconds += backoff
+                self.stats.retries += 1
+                retries_used += 1
+            else:
+                if self.circuit is not None:
+                    self.circuit.record_success()
+                self.stats.successes += 1
+                return measurement
+
+    def __call__(self, config) -> float:
+        return self.evaluate(config).runtime_seconds
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def reliability_state(self) -> dict:
+        state: dict = {"stats": self.stats.as_dict()}
+        if self.circuit is not None:
+            state["circuit"] = self.circuit.state_dict()
+        inner = getattr(self.evaluator, "reliability_state", None)
+        if callable(inner):
+            state["inner"] = inner()
+        return state
+
+    def load_reliability_state(self, state: dict) -> None:
+        self.stats.load_state(state["stats"])
+        if self.circuit is not None and "circuit" in state:
+            self.circuit.load_state(state["circuit"])
+        inner = getattr(self.evaluator, "load_reliability_state", None)
+        if callable(inner) and "inner" in state:
+            inner(state["inner"])

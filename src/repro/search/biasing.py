@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import BudgetExhaustedError, SearchError
-from repro.search.result import EvaluationRecord, SearchTrace
+from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
+from repro.search.random_search import record_failure, record_measurement
+from repro.search.result import SearchTrace
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # circular at runtime: transfer imports the searches
@@ -31,8 +32,18 @@ def biased_search(
     nmax: int = 100,
     pool_size: int = 10_000,
     name: str = "RSb",
+    checkpoint=None,
 ) -> SearchTrace:
-    """Run RSb for at most ``nmax`` evaluations."""
+    """Run RSb for at most ``nmax`` evaluations.
+
+    Failed evaluations (recoverable
+    :class:`~repro.errors.EvaluationFailure`, or degraded measurements
+    from a resilient evaluator) are recorded as failed entries at their
+    pool rank and the search moves to the next-predicted configuration.
+    ``checkpoint`` optionally resumes an interrupted run: the pool is
+    redrawn from its deterministic, stateless generator key, so the
+    resumed evaluation order is bit-identical to the interrupted one.
+    """
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
     if pool_size < 10:
@@ -40,13 +51,21 @@ def biased_search(
 
     trace = SearchTrace(algorithm=name)
     clock = evaluator.clock
+    start = 0
+    if checkpoint is not None:
+        start, _ = checkpoint.restore(trace, space, evaluator=evaluator)
+    resumed = start > 0
 
+    # On a resumed run the restored clock already paid the fit/predict
+    # charges; the pool recomputation itself is deterministic.
     try:
-        clock.advance(surrogate.fit_seconds)
+        if not resumed:
+            clock.advance(surrogate.fit_seconds)
         pool_rng = spawn_rng("rsb-pool", space.name, name)
         pool = space.sample(pool_rng, min(pool_size, space.cardinality))
         predictions = surrogate.predict(pool)
-        clock.advance(surrogate.predict_seconds(len(pool)))
+        if not resumed:
+            clock.advance(surrogate.predict_seconds(len(pool)))
     except BudgetExhaustedError:
         trace.exhausted_budget = True
         trace.total_elapsed = clock.now
@@ -54,19 +73,22 @@ def biased_search(
 
     order = np.argsort(predictions, kind="stable")
     trace.metadata["pool_size"] = len(pool)
-    for rank, pool_idx in enumerate(order[:nmax]):
-        config = pool[int(pool_idx)]
+    position = start
+    for rank in range(start, min(nmax, len(order))):
+        config = pool[int(order[rank])]
         try:
             measurement = evaluator.evaluate(config)
         except BudgetExhaustedError:
             trace.exhausted_budget = True
             break
-        trace.add(
-            EvaluationRecord(
-                config=config,
-                runtime=measurement.runtime_seconds,
-                elapsed=clock.now,
-            )
-        )
+        except EvaluationFailure as exc:
+            record_failure(trace, config, exc, clock.now)
+        else:
+            record_measurement(trace, config, measurement, clock.now)
+        position = rank + 1
+        if checkpoint is not None:
+            checkpoint.maybe_save(trace, position=position, evaluator=evaluator)
     trace.total_elapsed = max(trace.total_elapsed, clock.now)
+    if checkpoint is not None:
+        checkpoint.save(trace, position=position, evaluator=evaluator)
     return trace

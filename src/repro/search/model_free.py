@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import BudgetExhaustedError, SearchError
-from repro.search.result import EvaluationRecord, SearchTrace
+from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
+from repro.search.random_search import record_failure, record_measurement
+from repro.search.result import SearchTrace
 from repro.searchspace.space import Configuration
 from repro.utils.stats import quantile
 
@@ -55,14 +56,12 @@ def model_free_pruned_search(
         except BudgetExhaustedError:
             trace.exhausted_budget = True
             break
-        trace.add(
-            EvaluationRecord(
-                config=config,
-                runtime=measurement.runtime_seconds,
-                elapsed=evaluator.clock.now,
-                skipped_before=skipped,
-            )
-        )
+        except EvaluationFailure as exc:
+            record_failure(trace, config, exc, evaluator.clock.now,
+                           skipped_before=skipped)
+        else:
+            record_measurement(trace, config, measurement, evaluator.clock.now,
+                               skipped_before=skipped)
         skipped = 0
     trace.total_elapsed = max(trace.total_elapsed, evaluator.clock.now)
     return trace
@@ -85,12 +84,9 @@ def model_free_biased_search(
         except BudgetExhaustedError:
             trace.exhausted_budget = True
             break
-        trace.add(
-            EvaluationRecord(
-                config=config,
-                runtime=measurement.runtime_seconds,
-                elapsed=evaluator.clock.now,
-            )
-        )
+        except EvaluationFailure as exc:
+            record_failure(trace, config, exc, evaluator.clock.now)
+        else:
+            record_measurement(trace, config, measurement, evaluator.clock.now)
     trace.total_elapsed = max(trace.total_elapsed, evaluator.clock.now)
     return trace

@@ -11,8 +11,9 @@ runtime; evaluate it on the target only when the prediction is below
 
 from __future__ import annotations
 
-from repro.errors import BudgetExhaustedError, SearchError
-from repro.search.result import EvaluationRecord, SearchTrace
+from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
+from repro.search.random_search import record_failure, record_measurement
+from repro.search.result import SearchTrace
 from repro.search.stream import SharedStream
 from typing import TYPE_CHECKING
 
@@ -33,6 +34,7 @@ def pruned_search(
     delta_percent: float = 20.0,
     max_stream_positions: int | None = None,
     name: str = "RSp",
+    checkpoint=None,
 ) -> SearchTrace:
     """Run RSp for at most ``nmax`` evaluations.
 
@@ -41,6 +43,14 @@ def pruned_search(
     target-machine tuning session).  ``max_stream_positions`` bounds
     how far past the budget the stream may be walked when almost
     everything is pruned (default: ``50 * nmax``).
+
+    Failed evaluations (recoverable
+    :class:`~repro.errors.EvaluationFailure`, or degraded measurements
+    from a resilient evaluator) are recorded as failed entries at their
+    stream position, so CRN alignment with RS survives faults.
+    ``checkpoint`` optionally resumes an interrupted run; the pruning
+    cutoff is recomputed deterministically on resume without re-charging
+    the model-fit time.
     """
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
@@ -54,14 +64,26 @@ def pruned_search(
     space = stream.space
     trace = SearchTrace(algorithm=name)
     clock = evaluator.clock
+    position = 0
+    skipped = 0
+    if checkpoint is not None:
+        position, extra = checkpoint.restore(
+            trace, space, evaluator=evaluator, stream=stream
+        )
+        skipped = int(extra.get("skipped", 0))
+    resumed = position > 0
 
-    # Phase 1: cutoff from the δ% quantile of pool predictions.
+    # Phase 1: cutoff from the δ% quantile of pool predictions.  On a
+    # resumed run the restored clock already paid for fit/predict, so
+    # the (deterministic) recomputation charges nothing.
     try:
-        clock.advance(surrogate.fit_seconds)
+        if not resumed:
+            clock.advance(surrogate.fit_seconds)
         pool_rng = spawn_rng("rsp-pool", space.name, name)
         pool = space.sample(pool_rng, min(pool_size, space.cardinality))
         predictions = surrogate.predict(pool)
-        clock.advance(surrogate.predict_seconds(len(pool)))
+        if not resumed:
+            clock.advance(surrogate.predict_seconds(len(pool)))
     except BudgetExhaustedError:
         trace.exhausted_budget = True
         trace.total_elapsed = clock.now
@@ -70,8 +92,6 @@ def pruned_search(
     trace.metadata["cutoff"] = cutoff
 
     # Phase 2: walk the shared stream, evaluating only promising configs.
-    skipped = 0
-    position = 0
     while trace.n_evaluations < nmax and position < max_stream_positions:
         config = stream[position]
         position += 1
@@ -84,15 +104,18 @@ def pruned_search(
         except BudgetExhaustedError:
             trace.exhausted_budget = True
             break
-        trace.add(
-            EvaluationRecord(
-                config=config,
-                runtime=measurement.runtime_seconds,
-                elapsed=clock.now,
-                skipped_before=skipped,
-            )
-        )
+        except EvaluationFailure as exc:
+            record_failure(trace, config, exc, clock.now, skipped_before=skipped)
+        else:
+            record_measurement(trace, config, measurement, clock.now,
+                               skipped_before=skipped)
         skipped = 0
+        if checkpoint is not None:
+            checkpoint.maybe_save(trace, position=position, evaluator=evaluator,
+                                  extra={"skipped": skipped})
     trace.metadata["stream_positions"] = position
     trace.total_elapsed = max(trace.total_elapsed, clock.now)
+    if checkpoint is not None:
+        checkpoint.save(trace, position=position, evaluator=evaluator,
+                        extra={"skipped": skipped})
     return trace

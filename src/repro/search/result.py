@@ -14,12 +14,21 @@ __all__ = ["EvaluationRecord", "SearchTrace"]
 
 @dataclass(frozen=True)
 class EvaluationRecord:
-    """One evaluated configuration within a search."""
+    """One evaluated configuration within a search.
+
+    ``failed`` marks configurations whose evaluation could not be
+    recovered (the runtime is then a penalty value, or — when
+    ``censored`` — a lower bound such as a timeout cap).  Failed records
+    occupy their stream position, keeping common-random-numbers
+    comparisons aligned, but never count as a search's best result.
+    """
 
     config: Configuration
     runtime: float  # measured objective (seconds)
     elapsed: float  # simulated search time when this evaluation completed
     skipped_before: int = 0  # configurations skipped since the previous record
+    failed: bool = False  # evaluation failed; runtime is penalty/censored
+    censored: bool = False  # runtime is a lower bound (e.g. timeout cap)
 
 
 @dataclass
@@ -43,11 +52,27 @@ class SearchTrace:
     def n_evaluations(self) -> int:
         return len(self.records)
 
+    @property
+    def n_failures(self) -> int:
+        """How many recorded evaluations failed."""
+        return sum(1 for r in self.records if r.failed)
+
+    def successes(self) -> list[EvaluationRecord]:
+        """The records whose evaluation produced a real measurement."""
+        return [r for r in self.records if not r.failed]
+
+    def failures(self) -> list[EvaluationRecord]:
+        """The records whose evaluation failed (censored or penalized)."""
+        return [r for r in self.records if r.failed]
+
     def best(self) -> EvaluationRecord:
-        """The best-performing evaluated configuration."""
-        if not self.records:
-            raise SearchError(f"{self.algorithm}: no evaluations recorded")
-        return min(self.records, key=lambda r: r.runtime)
+        """The best-performing successfully evaluated configuration."""
+        successes = self.successes()
+        if not successes:
+            raise SearchError(
+                f"{self.algorithm}: no successful evaluations recorded"
+            )
+        return min(successes, key=lambda r: r.runtime)
 
     @property
     def best_runtime(self) -> float:
@@ -59,9 +84,10 @@ class SearchTrace:
 
     def time_to_reach(self, runtime: float) -> float | None:
         """Elapsed time when a config with runtime <= ``runtime`` was
-        first evaluated, or ``None`` if the search never got there."""
+        first successfully evaluated, or ``None`` if the search never
+        got there."""
         for r in self.records:
-            if r.runtime <= runtime:
+            if not r.failed and r.runtime <= runtime:
                 return r.elapsed
         return None
 
@@ -69,13 +95,14 @@ class SearchTrace:
         """Step-curve arrays: (elapsed times, best runtime at each).
 
         Only improvement points are returned (the classic search
-        progress curve of Figures 3-5).
+        progress curve of Figures 3-5); failed evaluations never
+        improve the curve.
         """
         times: list[float] = []
         bests: list[float] = []
         cur = float("inf")
         for r in self.records:
-            if r.runtime < cur:
+            if not r.failed and r.runtime < cur:
                 cur = r.runtime
                 times.append(r.elapsed)
                 bests.append(cur)
@@ -87,14 +114,33 @@ class SearchTrace:
     def configs(self) -> list[Configuration]:
         return [r.config for r in self.records]
 
-    def training_data(self) -> list[tuple[Configuration, float]]:
-        """The (x_i, y_i) pairs of Section III — surrogate training data."""
-        return [(r.config, r.runtime) for r in self.records]
+    def training_data(
+        self, include_failed: bool = False
+    ) -> list[tuple[Configuration, float]]:
+        """The (x_i, y_i) pairs of Section III — surrogate training data.
+
+        Failed evaluations are excluded by default; with
+        ``include_failed=True`` they appear with their penalty/censored
+        runtime so a censoring-aware learner (see
+        :meth:`repro.transfer.surrogate.Surrogate.fit`) can drop or
+        impute them explicitly.
+        """
+        return [
+            (r.config, r.runtime)
+            for r in self.records
+            if include_failed or not r.failed
+        ]
 
     def __repr__(self) -> str:
         if not self.records:
             return f"SearchTrace({self.algorithm!r}, empty)"
+        failed = f", failed={self.n_failures}" if self.n_failures else ""
+        if not self.successes():
+            return (
+                f"SearchTrace({self.algorithm!r}, n={self.n_evaluations}{failed}, "
+                f"elapsed={self.total_elapsed:.4g}s)"
+            )
         return (
-            f"SearchTrace({self.algorithm!r}, n={self.n_evaluations}, "
+            f"SearchTrace({self.algorithm!r}, n={self.n_evaluations}{failed}, "
             f"best={self.best_runtime:.4g}s, elapsed={self.total_elapsed:.4g}s)"
         )

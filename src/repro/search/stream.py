@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import SearchError
+from repro.errors import SearchError, StreamExhaustedError
 from repro.searchspace.space import Configuration, SearchSpace
 from repro.utils.rng import spawn_rng
 
@@ -26,21 +26,31 @@ class SharedStream:
         if batch < 1:
             raise SearchError(f"batch must be >= 1, got {batch}")
         self.space = space
+        self.seed = seed
         self._rng: np.random.Generator = spawn_rng("shared-stream", space.name, str(seed))
         self._batch = batch
         self._configs: list[Configuration] = []
         self._seen: set[int] = set()
 
+    @property
+    def materialized(self) -> int:
+        """How many stream positions have been generated so far."""
+        return len(self._configs)
+
     def _extend(self, upto: int) -> None:
         while len(self._configs) < upto:
             remaining = self.space.cardinality - len(self._seen)
             if remaining == 0:
-                raise SearchError(
+                raise StreamExhaustedError(
                     f"stream exhausted the whole space ({self.space.cardinality} configs)"
                 )
-            want = min(self._batch, remaining, upto - len(self._configs) + self._batch)
-            indices = self.space.sample_indices(self._rng, min(want, remaining), self._seen)
-            for i in indices:
+            # Always extend by one full batch (capped by what is left):
+            # the chunk sizes the generator sees are then independent of
+            # the access pattern, so prefix(n), random access, and a
+            # stream rebuilt after a checkpoint/resume all materialize
+            # bit-identical sequences.
+            want = min(self._batch, remaining)
+            for i in self.space.sample_indices(self._rng, want, self._seen):
                 self._seen.add(i)
                 self._configs.append(self.space.config_at(i))
 
@@ -60,6 +70,8 @@ class SharedStream:
         while True:
             try:
                 yield self[position]
-            except SearchError:
+            except StreamExhaustedError:
+                # Clean stop: iterating a stream over a small space
+                # simply ends when every configuration has been seen.
                 return
             position += 1

@@ -47,11 +47,11 @@ def speedups(rs: SearchTrace, variant: SearchTrace) -> SpeedupReport:
     Both traces must come from searches on the *same* target machine
     (comparing runtimes across machines is meaningless).
     """
-    if not rs.records:
-        raise SearchError("RS trace has no evaluations")
-    if not variant.records:
-        # Complete failure (e.g. budget exhausted before any evaluation):
-        # no performance, no search speedup.
+    if not rs.successes():
+        raise SearchError("RS trace has no successful evaluations")
+    if not variant.successes():
+        # Complete failure (e.g. budget exhausted before any evaluation,
+        # or every evaluation failed): no performance, no search speedup.
         return SpeedupReport(
             variant=variant.algorithm,
             performance=0.0,

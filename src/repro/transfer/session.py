@@ -58,10 +58,13 @@ class TransferOutcome:
     def correlation(self) -> tuple[float, float]:
         """(Pearson, Spearman) between source and target runtimes of the
         commonly evaluated RS configurations — the paper's correlation
-        panels."""
-        source_by_cfg = {r.config.index: r.runtime for r in self.source_trace.records}
+        panels.  Failed evaluations on either side are excluded (their
+        penalty/censored runtimes are not measurements)."""
+        source_by_cfg = {
+            r.config.index: r.runtime for r in self.source_trace.successes()
+        }
         xs, ys = [], []
-        for r in self.rs.records:
+        for r in self.rs.successes():
             if r.config.index in source_by_cfg:
                 xs.append(source_by_cfg[r.config.index])
                 ys.append(r.runtime)
@@ -109,6 +112,7 @@ class TransferSession:
         learner_factory: Callable[[], Regressor] | None = None,
         variants: tuple[str, ...] = ("RSp", "RSb", "RSpf", "RSbf"),
         evaluator_factory: Callable[[MachineSpec, SimClock], object] | None = None,
+        evaluator_wrapper: Callable[[object], object] | None = None,
     ) -> None:
         self.kernel = kernel
         self.source = source
@@ -124,6 +128,7 @@ class TransferSession:
         self.learner_factory = learner_factory
         self.variants = variants
         self.evaluator_factory = evaluator_factory
+        self.evaluator_wrapper = evaluator_wrapper
 
     # ------------------------------------------------------------------
     def _threads_for(self, machine: MachineSpec) -> int:
@@ -135,15 +140,21 @@ class TransferSession:
     def _evaluator(self, machine: MachineSpec):
         clock = SimClock(self.budget_seconds)
         if self.evaluator_factory is not None:
-            return self.evaluator_factory(machine, clock)
-        return OrioEvaluator(
-            self.kernel,
-            machine,
-            compiler=self.compiler,
-            threads=self._threads_for(machine),
-            openmp=self.openmp,
-            clock=clock,
-        )
+            evaluator = self.evaluator_factory(machine, clock)
+        else:
+            evaluator = OrioEvaluator(
+                self.kernel,
+                machine,
+                compiler=self.compiler,
+                threads=self._threads_for(machine),
+                openmp=self.openmp,
+                clock=clock,
+            )
+        if self.evaluator_wrapper is not None:
+            # Reliability layers (fault injection, retry/backoff, circuit
+            # breaking) wrap here so every search sees the same hazards.
+            evaluator = self.evaluator_wrapper(evaluator)
+        return evaluator
 
     def _stream(self) -> SharedStream:
         return SharedStream(self.kernel.space, seed=self.seed)
@@ -160,44 +171,75 @@ class TransferSession:
         surrogate = Surrogate(self.kernel.space, learner_factory=self.learner_factory)
         return surrogate.fit(source_trace.training_data())
 
-    def run(self) -> TransferOutcome:
-        """Steps 1-4; returns the complete outcome."""
-        source_trace = self.collect_source_data()
+    def run(self, checkpoint_path=None) -> TransferOutcome:
+        """Steps 1-4; returns the complete outcome.
+
+        ``checkpoint_path`` optionally persists every finished search
+        trace (JSON, see :mod:`repro.reliability.checkpoint`): if the
+        session is interrupted — the paper's X-Gene outage scenario —
+        re-running with the same path skips every completed phase
+        instead of re-evaluating it.  Each search runs on a fresh clock
+        and a seed-replayed stream, so the resumed session's remaining
+        phases are bit-identical to an uninterrupted run.
+        """
+        done: dict[str, SearchTrace] = {}
+        if checkpoint_path is not None:
+            from repro.reliability.checkpoint import load_traces
+
+            done = load_traces(checkpoint_path, self.kernel.space)
+
+        def _save(traces: dict[str, SearchTrace]) -> None:
+            if checkpoint_path is not None:
+                from repro.reliability.checkpoint import save_traces
+
+                save_traces(checkpoint_path, traces)
+
+        if "RS(source)" in done:
+            source_trace = done["RS(source)"]
+        else:
+            source_trace = self.collect_source_data()
+            done["RS(source)"] = source_trace
+            _save(done)
         surrogate = self.fit_surrogate(source_trace)
         training = source_trace.training_data()
 
         traces: dict[str, SearchTrace] = {}
         # Common random numbers: every stream-driven search replays the
         # same sequence (fresh SharedStream instances share the seed).
-        traces["RS"] = random_search(
-            self._evaluator(self.target), self._stream(), nmax=self.nmax
-        )
-        if "RSp" in self.variants:
-            traces["RSp"] = pruned_search(
+        runners: dict[str, Callable[[], SearchTrace]] = {
+            "RS": lambda: random_search(
+                self._evaluator(self.target), self._stream(), nmax=self.nmax
+            ),
+            "RSp": lambda: pruned_search(
                 self._evaluator(self.target),
                 self._stream(),
                 surrogate,
                 nmax=self.nmax,
                 pool_size=self.pool_size,
                 delta_percent=self.delta_percent,
-            )
-        if "RSb" in self.variants:
-            traces["RSb"] = biased_search(
+            ),
+            "RSb": lambda: biased_search(
                 self._evaluator(self.target),
                 self.kernel.space,
                 surrogate,
                 nmax=self.nmax,
                 pool_size=self.pool_size,
-            )
-        if "RSpf" in self.variants:
-            traces["RSpf"] = model_free_pruned_search(
+            ),
+            "RSpf": lambda: model_free_pruned_search(
                 self._evaluator(self.target), training, nmax=self.nmax,
                 delta_percent=self.delta_percent,
-            )
-        if "RSbf" in self.variants:
-            traces["RSbf"] = model_free_biased_search(
+            ),
+            "RSbf": lambda: model_free_biased_search(
                 self._evaluator(self.target), training, nmax=self.nmax
-            )
+            ),
+        }
+        for name in ("RS",) + tuple(v for v in self.variants if v in runners):
+            if name in done:
+                traces[name] = done[name]
+                continue
+            traces[name] = runners[name]()
+            done[name] = traces[name]
+            _save(done)
 
         outcome = TransferOutcome(
             kernel=self.kernel.name,

@@ -62,20 +62,55 @@ class Surrogate:
         self.learner = learner
         self.log_target = log_target
         self.fit_seconds = 0.0  # simulated cost of the last fit
+        self.n_censored = 0  # censored samples seen by the last fit
         self._fitted = False
 
     # ------------------------------------------------------------------
-    def fit(self, training: Sequence[tuple[Configuration, float]]) -> "Surrogate":
-        """Fit from ``(configuration, runtime)`` pairs (the set Ta)."""
+    def fit(
+        self,
+        training: Sequence[tuple[Configuration, float]],
+        censored: str = "drop",
+        impute_factor: float = 2.0,
+    ) -> "Surrogate":
+        """Fit from ``(configuration, runtime)`` pairs (the set Ta).
+
+        Failed/censored samples — pairs whose runtime is non-finite,
+        as produced by ``SearchTrace.training_data(include_failed=True)``
+        on a fault-afflicted trace — are handled per ``censored``:
+
+        * ``"drop"`` (default): excluded from the fit;
+        * ``"impute"``: replaced by ``impute_factor`` times the largest
+          finite runtime, a pessimistic stand-in that keeps the model
+          steering away from the failing region.
+
+        Finite censored bounds (timeout caps) are already usable
+        pessimistic values and train as-is.  The simulated fit cost is
+        charged for the rows actually fitted.
+        """
+        if censored not in ("drop", "impute"):
+            raise ModelError(f"censored must be 'drop' or 'impute', got {censored!r}")
+        if impute_factor < 1.0:
+            raise ModelError(f"impute_factor must be >= 1, got {impute_factor}")
         if not training:
             raise ModelError("cannot fit a surrogate on an empty training set")
-        configs = [c for c, _ in training]
-        y = np.array([t for _, t in training], dtype=float)
+        y_all = np.array([t for _, t in training], dtype=float)
+        finite = np.isfinite(y_all)
+        self.n_censored = int(np.sum(~finite))
+        if not np.any(finite):
+            raise ModelError(
+                "cannot fit a surrogate: every training sample is censored"
+            )
+        if censored == "drop":
+            configs = [c for (c, _), ok in zip(training, finite) if ok]
+            y = y_all[finite]
+        else:
+            configs = [c for c, _ in training]
+            y = np.where(finite, y_all, impute_factor * float(np.max(y_all[finite])))
         if np.any(y <= 0) and self.log_target:
             raise ModelError("log-target surrogate requires positive runtimes")
         X = self.space.encode_many(configs)
         self.learner.fit(X, np.log(y) if self.log_target else y)
-        self.fit_seconds = _FIT_BASE_S + _FIT_PER_ROW_S * len(training)
+        self.fit_seconds = _FIT_BASE_S + _FIT_PER_ROW_S * len(configs)
         self._fitted = True
         return self
 

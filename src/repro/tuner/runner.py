@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.errors import BudgetExhaustedError, SearchError
+from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
 from repro.search.result import EvaluationRecord, SearchTrace
 from repro.tuner.database import Result, ResultsDatabase
 from repro.tuner.manipulator import ConfigurationManipulator
@@ -19,7 +19,19 @@ class TuningRun:
     with ``runtime_seconds``/``evaluation_cost`` and charges ``clock``.
     Results are cached by configuration — re-proposals of measured
     configurations cost nothing, as in OpenTuner.
+
+    Failed evaluations (recoverable
+    :class:`~repro.errors.EvaluationFailure`, or degraded measurements
+    from a :class:`~repro.reliability.resilient.ResilientEvaluator`)
+    are recorded as failed trace entries; the technique receives the
+    penalty/censored value as feedback so it steers away from the
+    failing region, and the result is cached so the configuration is
+    never re-measured.
     """
+
+    # Objective value fed back to techniques for failures without a
+    # censored bound: techniques need a finite number to rank against.
+    FAILURE_FEEDBACK_FACTOR = 10.0
 
     def __init__(
         self,
@@ -37,11 +49,49 @@ class TuningRun:
         self.database = ResultsDatabase()
         space = evaluator.kernel.space if hasattr(evaluator, "kernel") else evaluator.space
         self.manipulator = ConfigurationManipulator(space)
+        self.space = space
         technique.bind(self.manipulator, self.database)
 
-    def run(self) -> SearchTrace:
-        """Run until ``nmax`` measurements (cache hits don't count)."""
+    # ------------------------------------------------------------------
+    def _feedback_value(self, runtime: float, censored: bool) -> float:
+        """A finite objective value for a failed evaluation.
+
+        A censored runtime (timeout cap) is already a usable lower
+        bound; an unbounded failure is penalized relative to the worst
+        measurement seen so far.
+        """
+        if censored:
+            return runtime
+        worst = max((r.value for r in self.database.results()), default=1.0)
+        return self.FAILURE_FEEDBACK_FACTOR * worst
+
+    def run(self, checkpoint=None) -> SearchTrace:
+        """Run until ``nmax`` measurements (cache hits don't count).
+
+        ``checkpoint`` is an optional
+        :class:`~repro.reliability.checkpoint.CheckpointManager`.  On
+        resume the measured-results database and the trace are restored,
+        and every past result is replayed as feedback so the technique
+        regains its knowledge; no configuration is re-measured (the
+        cache makes re-proposals free).  Unlike the stream-driven
+        searches, a stateful technique's internal RNG is *not* restored,
+        so the continuation explores from rebuilt knowledge rather than
+        replaying the interrupted run bit-for-bit.
+        """
         trace = SearchTrace(algorithm=self.name)
+        if checkpoint is not None:
+            _, extra = checkpoint.restore(trace, self.space, evaluator=self.evaluator)
+            for row in extra.get("database", []):
+                config = self.space.config_at(int(row["config"]))
+                result = Result(
+                    config=config,
+                    value=float(row["value"]),
+                    technique=row["technique"],
+                    elapsed=float(row["elapsed"]),
+                    iteration=int(row["iteration"]),
+                )
+                self.database.add(result)
+                self.technique.feedback(config, result.value)
         iteration = 0
         stall_guard = 0
         while trace.n_evaluations < self.nmax:
@@ -56,25 +106,75 @@ class TuningRun:
                     break  # technique converged onto measured configs
                 continue
             stall_guard = 0
+            failed = censored = False
             try:
                 measurement = self.evaluator.evaluate(config)
             except BudgetExhaustedError:
+                # The budget died mid-evaluation: the partial work until
+                # the budget wall was real, so charge the remainder and
+                # keep the final elapsed time on the trace instead of
+                # silently dropping it.
+                clock = self.evaluator.clock
+                if clock.remaining > 0:
+                    clock.advance(clock.remaining)
                 trace.exhausted_budget = True
                 break
-            value = measurement.runtime_seconds
+            except EvaluationFailure as exc:
+                failed = True
+                censored_at = getattr(exc, "censored_at", None)
+                censored = censored_at is not None
+                value = float("inf") if censored_at is None else float(censored_at)
+            else:
+                failed = bool(getattr(measurement, "failed", False))
+                censored = bool(getattr(measurement, "censored", False))
+                value = measurement.runtime_seconds
+            feedback = self._feedback_value(value, censored) if failed else value
             self.database.add(
                 Result(
                     config=config,
-                    value=value,
+                    value=feedback,
                     technique=self.technique.name,
                     elapsed=self.evaluator.clock.now,
                     iteration=iteration,
                 )
             )
-            self.technique.feedback(config, value)
+            self.technique.feedback(config, feedback)
             trace.add(
                 EvaluationRecord(
-                    config=config, runtime=value, elapsed=self.evaluator.clock.now
+                    config=config,
+                    runtime=value,
+                    elapsed=self.evaluator.clock.now,
+                    failed=failed,
+                    censored=censored,
                 )
             )
+            if checkpoint is not None:
+                checkpoint.maybe_save(
+                    trace,
+                    position=trace.n_evaluations,
+                    evaluator=self.evaluator,
+                    extra=self._database_state(),
+                )
+        trace.total_elapsed = max(trace.total_elapsed, self.evaluator.clock.now)
+        if checkpoint is not None:
+            checkpoint.save(
+                trace,
+                position=trace.n_evaluations,
+                evaluator=self.evaluator,
+                extra=self._database_state(),
+            )
         return trace
+
+    def _database_state(self) -> dict:
+        return {
+            "database": [
+                {
+                    "config": r.config.index,
+                    "value": r.value,
+                    "technique": r.technique,
+                    "elapsed": r.elapsed,
+                    "iteration": r.iteration,
+                }
+                for r in self.database.results()
+            ]
+        }

@@ -33,14 +33,19 @@ def write_csv(path: str | Path, headers: Sequence[str], rows: Iterable[Sequence]
 
 
 def trace_to_rows(trace: SearchTrace) -> list[list]:
-    """(algorithm, k, config index, runtime, elapsed, best so far)."""
+    """(algorithm, k, config index, runtime, elapsed, best so far, failed).
+
+    Failed evaluations appear with their penalty/censored runtime and
+    ``failed=1`` but never advance the best-so-far column.
+    """
     rows = []
     best = float("inf")
     for k, record in enumerate(trace.records, start=1):
-        best = min(best, record.runtime)
+        if not record.failed:
+            best = min(best, record.runtime)
         rows.append(
             [trace.algorithm, k, record.config.index, record.runtime,
-             record.elapsed, best]
+             record.elapsed, best, int(record.failed)]
         )
     return rows
 
@@ -52,6 +57,7 @@ def write_traces_csv(path: str | Path, traces: Iterable[SearchTrace]) -> Path:
         rows.extend(trace_to_rows(trace))
     return write_csv(
         path,
-        ["algorithm", "evaluation", "config_index", "runtime_s", "elapsed_s", "best_s"],
+        ["algorithm", "evaluation", "config_index", "runtime_s", "elapsed_s",
+         "best_s", "failed"],
         rows,
     )

@@ -48,6 +48,14 @@ class TestMeasurement:
         with pytest.raises(EvaluationError):
             OrioEvaluator(mm, SANDYBRIDGE, repetitions=0)
 
+    def test_negative_quirk_sigma_rejected(self, mm):
+        with pytest.raises(EvaluationError):
+            OrioEvaluator(mm, SANDYBRIDGE, quirk_sigma=-0.1)
+
+    def test_zero_quirk_sigma_accepted(self, mm):
+        ev = OrioEvaluator(mm, SANDYBRIDGE, quirk_sigma=0.0)
+        assert ev.measure(mm.space.default()).runtime_seconds > 0
+
     def test_icc_on_power_rejected(self, mm):
         from repro.errors import CompilationError
 

@@ -1,0 +1,33 @@
+"""Shared fixtures for the reliability suite."""
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.machines import SANDYBRIDGE, WESTMERE
+from repro.orio.evaluator import OrioEvaluator
+from repro.perf.simclock import SimClock
+from repro.search.random_search import random_search
+from repro.search.stream import SharedStream
+from repro.transfer.surrogate import Surrogate
+
+
+@pytest.fixture(scope="session")
+def kernel():
+    return get_kernel("lu", n=128)
+
+
+@pytest.fixture(scope="session")
+def surrogate(kernel):
+    ev = OrioEvaluator(kernel, WESTMERE, clock=SimClock())
+    trace = random_search(ev, SharedStream(kernel.space, seed="rel"), nmax=50)
+    return Surrogate(kernel.space).fit(trace.training_data())
+
+
+@pytest.fixture
+def make_target(kernel):
+    """Factory for fresh target-machine evaluators on fresh clocks."""
+
+    def _make(budget=None):
+        return OrioEvaluator(kernel, SANDYBRIDGE, clock=SimClock(budget))
+
+    return _make

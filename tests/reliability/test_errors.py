@@ -1,0 +1,95 @@
+"""The error hierarchy: everything library-raised is a ReproError."""
+
+import inspect
+
+import pytest
+
+import repro.errors as E
+
+ALL_ERRORS = [
+    obj
+    for _, obj in inspect.getmembers(E, inspect.isclass)
+    if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+]
+
+# Constructors that need more than a message.
+SPECIAL_ARGS = {
+    E.EvaluationTimeout: ("timed out", 120.0),
+    E.MachineOutageError: ("machine down", 600.0),
+}
+
+
+def test_module_exposes_the_full_hierarchy():
+    names = {cls.__name__ for cls in ALL_ERRORS}
+    assert {
+        "ReproError",
+        "EvaluationError",
+        "BudgetExhaustedError",
+        "EvaluationFailure",
+        "TransientEvaluationError",
+        "EvaluationTimeout",
+        "MachineOutageError",
+        "CompileCrashError",
+        "SearchError",
+        "StreamExhaustedError",
+        "CheckpointError",
+    } <= names
+
+
+@pytest.mark.parametrize("cls", ALL_ERRORS, ids=lambda c: c.__name__)
+def test_every_exception_is_a_repro_error(cls):
+    assert issubclass(cls, E.ReproError)
+
+
+@pytest.mark.parametrize("cls", ALL_ERRORS, ids=lambda c: c.__name__)
+def test_every_exception_catchable_as_repro_error(cls):
+    args = SPECIAL_ARGS.get(cls, ("boom",))
+    with pytest.raises(E.ReproError):
+        raise cls(*args)
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [
+        E.TransientEvaluationError,
+        E.EvaluationTimeout,
+        E.MachineOutageError,
+        E.CompileCrashError,
+    ],
+    ids=lambda c: c.__name__,
+)
+def test_recoverable_failures_are_evaluation_failures(cls):
+    assert issubclass(cls, E.EvaluationFailure)
+    assert issubclass(cls, E.EvaluationError)
+
+
+def test_budget_exhaustion_is_not_recoverable():
+    # Searches must terminate on a dead budget, never retry it.
+    assert not issubclass(E.BudgetExhaustedError, E.EvaluationFailure)
+
+
+def test_compile_crash_is_both_compilation_and_failure():
+    exc = E.CompileCrashError("icc segfault")
+    assert isinstance(exc, E.CompilationError)
+    assert isinstance(exc, E.EvaluationFailure)
+
+
+def test_timeout_carries_censored_bound():
+    exc = E.EvaluationTimeout("past the cap", censored_at=90)
+    assert exc.censored_at == pytest.approx(90.0)
+    assert isinstance(exc.censored_at, float)
+
+
+def test_outage_carries_recovery_horizon():
+    exc = E.MachineOutageError("down", retry_after=600)
+    assert exc.retry_after == pytest.approx(600.0)
+    assert isinstance(exc.retry_after, float)
+
+
+def test_stream_exhaustion_is_a_search_error():
+    assert issubclass(E.StreamExhaustedError, E.SearchError)
+
+
+def test_checkpoint_error_is_a_repro_error():
+    assert issubclass(E.CheckpointError, E.ReproError)
+    assert not issubclass(E.CheckpointError, E.SearchError)

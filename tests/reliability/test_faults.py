@@ -1,0 +1,161 @@
+"""Deterministic fault injection: specs, draws, and clock charging."""
+
+import pytest
+
+from repro.errors import (
+    CompileCrashError,
+    EvaluationError,
+    EvaluationTimeout,
+    MachineOutageError,
+    TransientEvaluationError,
+)
+from repro.machines import SANDYBRIDGE
+from repro.orio.evaluator import OrioEvaluator
+from repro.perf.simclock import SimClock
+from repro.reliability import FAULT_MODES, FaultInjector, FaultSpec, FaultyEvaluator
+
+
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(EvaluationError):
+            FaultSpec(transient_rate=-0.1)
+        with pytest.raises(EvaluationError):
+            FaultSpec(timeout_rate=1.5)
+        with pytest.raises(EvaluationError):
+            FaultSpec(transient_rate=0.6, outage_rate=0.6)  # sums past 1
+
+    def test_severities_validated(self):
+        with pytest.raises(EvaluationError):
+            FaultSpec(timeout_cap_seconds=0.0)
+        with pytest.raises(EvaluationError):
+            FaultSpec(outage_horizon_seconds=-1.0)
+        with pytest.raises(EvaluationError):
+            FaultSpec(transient_cost_fraction=1.5)
+
+    def test_uniform_mixture(self):
+        spec = FaultSpec.uniform(0.2, seed=5)
+        assert spec.transient_rate == pytest.approx(0.10)
+        assert spec.compile_crash_rate == pytest.approx(0.04)
+        assert spec.timeout_rate == pytest.approx(0.04)
+        assert spec.outage_rate == pytest.approx(0.02)
+        assert spec.total_rate == pytest.approx(0.2)
+        assert spec.seed == 5
+
+    def test_uniform_overrides(self):
+        spec = FaultSpec.uniform(0.1, timeout_cap_seconds=60.0)
+        assert spec.timeout_cap_seconds == 60.0
+        with pytest.raises(EvaluationError):
+            FaultSpec.uniform(1.5)
+
+
+class TestFaultInjector:
+    def test_draws_are_deterministic(self):
+        a = FaultInjector(FaultSpec.uniform(0.3, seed="d"))
+        b = FaultInjector(FaultSpec.uniform(0.3, seed="d"))
+        draws = [a.draw(i, 0) for i in range(500)]
+        assert draws == [b.draw(i, 0) for i in range(500)]
+
+    def test_draws_match_the_requested_rate(self):
+        injector = FaultInjector(FaultSpec.uniform(0.3, seed=1))
+        draws = [injector.draw(i, 0) for i in range(4000)]
+        faults = [d for d in draws if d is not None]
+        assert 0.25 < len(faults) / len(draws) < 0.35
+        assert set(faults) == set(FAULT_MODES)  # every mode occurs
+
+    def test_zero_rate_never_faults(self):
+        injector = FaultInjector(FaultSpec.uniform(0.0, seed=1))
+        assert all(injector.draw(i, 0) is None for i in range(200))
+
+    def test_attempt_number_redraws(self):
+        # A retry consults a fresh decision: some faulted first attempts
+        # succeed on the second — the basis of transient recovery.
+        injector = FaultInjector(FaultSpec.uniform(0.3, seed=2))
+        recovered = [
+            i
+            for i in range(500)
+            if injector.draw(i, 0) is not None and injector.draw(i, 1) is None
+        ]
+        assert recovered
+
+    def test_state_roundtrip(self):
+        injector = FaultInjector(FaultSpec.uniform(0.3, seed=3))
+        injector.outage_until = 42.0
+        injector.counts["transient"] = 7
+        fresh = FaultInjector(FaultSpec.uniform(0.3, seed=3))
+        fresh.load_state(injector.state_dict())
+        assert fresh.outage_until == 42.0
+        assert fresh.counts == injector.counts
+
+
+def _forced(kernel, **rates):
+    """A faulty target evaluator whose next draw is forced to one mode."""
+    clock = SimClock()
+    spec = FaultSpec(seed="force", **rates)
+    return FaultyEvaluator(
+        OrioEvaluator(kernel, SANDYBRIDGE, clock=clock), spec
+    ), clock
+
+
+class TestFaultyEvaluator:
+    def test_transient_charges_cost_fraction(self, kernel):
+        faulty, clock = _forced(kernel, transient_rate=1.0)
+        config = kernel.space.config_at(1)
+        cost = faulty.measure(config).evaluation_cost
+        with pytest.raises(TransientEvaluationError):
+            faulty.evaluate(config)
+        assert clock.now == pytest.approx(0.5 * cost)
+
+    def test_compile_crash_charges_compile_time(self, kernel):
+        faulty, clock = _forced(kernel, compile_crash_rate=1.0)
+        config = kernel.space.config_at(1)
+        compile_s = faulty.measure(config).compile_seconds
+        with pytest.raises(CompileCrashError):
+            faulty.evaluate(config)
+        assert clock.now == pytest.approx(compile_s)
+
+    def test_timeout_charges_cap_and_censors(self, kernel):
+        faulty, clock = _forced(kernel, timeout_rate=1.0, timeout_cap_seconds=60.0)
+        config = kernel.space.config_at(1)
+        compile_s = faulty.measure(config).compile_seconds
+        with pytest.raises(EvaluationTimeout) as info:
+            faulty.evaluate(config)
+        assert info.value.censored_at == pytest.approx(60.0)
+        assert clock.now == pytest.approx(compile_s + 60.0)
+
+    def test_outage_blocks_until_horizon(self, kernel):
+        faulty, clock = _forced(
+            kernel, outage_rate=1.0, outage_horizon_seconds=100.0
+        )
+        config = kernel.space.config_at(1)
+        with pytest.raises(MachineOutageError) as info:
+            faulty.evaluate(config)
+        assert info.value.retry_after == pytest.approx(100.0)
+        assert clock.now == 0.0  # the drop itself costs nothing
+        assert faulty.injector.outage_until == pytest.approx(100.0)
+        # While down, every attempt fails without consuming a fault draw.
+        with pytest.raises(MachineOutageError):
+            faulty.evaluate(config)
+        assert faulty.injector.counts["outage"] == 1
+
+    def test_no_fault_passes_through(self, kernel):
+        faulty, clock = _forced(kernel)  # all rates zero
+        config = kernel.space.config_at(1)
+        measurement = faulty.evaluate(config)
+        assert measurement.runtime_seconds > 0
+        assert clock.now == pytest.approx(measurement.evaluation_cost)
+
+    def test_evaluator_surface_passes_through(self, kernel):
+        faulty, clock = _forced(kernel)
+        assert faulty.kernel is not None
+        assert faulty.clock is clock
+        assert faulty.spec.total_rate == 0.0
+
+    def test_reliability_state_roundtrip(self, kernel):
+        faulty, _clock = _forced(kernel, transient_rate=1.0)
+        config = kernel.space.config_at(1)
+        with pytest.raises(TransientEvaluationError):
+            faulty.evaluate(config)
+        fresh, _ = _forced(kernel, transient_rate=1.0)
+        fresh.load_reliability_state(faulty.reliability_state())
+        assert fresh._attempts == {config.index: 1}
+        assert fresh.injector.counts["transient"] == 1

@@ -101,3 +101,27 @@ class TestSharedStream:
     def test_negative_position_rejected(self, space):
         with pytest.raises(SearchError):
             SharedStream(space)[-1]
+
+    def test_exhaustion_error_is_specific(self, space):
+        from repro.errors import StreamExhaustedError
+
+        stream = SharedStream(space, seed=0)
+        stream.prefix(space.cardinality)
+        with pytest.raises(StreamExhaustedError):
+            stream[space.cardinality]
+
+    def test_access_pattern_independent_materialization(self, space):
+        # prefix(n), item-by-item access, and a rebuilt stream must all
+        # see identical sequences — checkpoint/resume and CRN depend on
+        # the generator's chunk sizes being access-pattern independent.
+        by_prefix = SharedStream(space, seed=7).prefix(50)
+        item_stream = SharedStream(space, seed=7)
+        by_item = [item_stream[i] for i in range(50)]
+        assert by_item == by_prefix
+
+    def test_no_oversampling_near_exhaustion(self):
+        tiny = SearchSpace([IntegerParameter("a", 0, 4)], name="tiny")
+        stream = SharedStream(tiny, seed=0, batch=64)
+        configs = stream.prefix(tiny.cardinality)
+        assert len(set(configs)) == tiny.cardinality
+        assert stream.materialized == tiny.cardinality

@@ -45,6 +45,16 @@ class TestTuningRun:
         assert trace.exhausted_budget
         assert trace.n_evaluations < 100
 
+    def test_budget_exhaustion_charges_partial_work(self):
+        # The evaluation that hit the budget wall did real work up to
+        # the wall; the clock and the trace must account the full
+        # budget instead of silently dropping the partial charge.
+        ev = hpl_evaluator(budget=700.0)
+        trace = TuningRun(ev, RandomTechnique(), nmax=100).run()
+        assert trace.exhausted_budget
+        assert ev.clock.now == pytest.approx(700.0)
+        assert trace.total_elapsed == pytest.approx(700.0)
+
     def test_bandit_end_to_end(self):
         bandit = AUCBanditMetaTechnique(
             [RandomTechnique(), GeneticAlgorithm(population_size=6), SimulatedAnnealing()]
