@@ -14,8 +14,13 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
 
+# --benchmark-only deselects the plain perf-regression suite, so run
+# it explicitly; it writes benchmarks/results/BENCH_ml.json and fails
+# on >25% regressions vs the committed baseline (override with
+# REPRO_BENCH_ALLOW_REGRESSION=1 when rebaselining on new hardware).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m pytest benchmarks/test_perf_ml.py -q -s
 
 faults:
 	$(PYTHON) -m pytest -x -q benchmarks/test_ablations.py::test_fault_ablation --benchmark-only

@@ -11,6 +11,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.ml.base import Regressor, check_X, check_Xy
+from repro.ml.forest import PackedTrees
 from repro.ml.tree import DecisionTreeRegressor
 from repro.utils.rng import RngFactory
 
@@ -28,6 +29,7 @@ class GradientBoostingRegressor(Regressor):
         subsample: float = 1.0,
         min_samples_leaf: int = 2,
         seed: int = 0,
+        engine: str = "presort",
     ) -> None:
         if n_estimators < 1:
             raise ModelError(f"n_estimators must be >= 1, got {n_estimators}")
@@ -41,7 +43,9 @@ class GradientBoostingRegressor(Regressor):
         self.subsample = subsample
         self.min_samples_leaf = min_samples_leaf
         self.seed = seed
+        self.engine = engine
         self.trees: list[DecisionTreeRegressor] = []
+        self._packed: PackedTrees | None = None
         self._base: float = 0.0
 
     def fit(self, X, y) -> "GradientBoostingRegressor":
@@ -60,28 +64,40 @@ class GradientBoostingRegressor(Regressor):
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 rng=factory.child("split", t),
+                engine=self.engine,
             )
-            tree.fit(X[rows], residual[rows])
+            tree._fit_arrays(X[rows] if m < n else X, residual[rows] if m < n else residual)
             self.trees.append(tree)
             pred += self.learning_rate * tree.predict(X)
         self._n_features = p
+        self._packed = PackedTrees(self.trees)
         return self
+
+    def _tree_values(self, X: np.ndarray) -> np.ndarray:
+        if self._packed is None:
+            self._packed = PackedTrees(self.trees)
+        return self._packed.tree_values(X)
 
     def predict(self, X) -> np.ndarray:
         p = self._require_fitted()
         X = check_X(X, p)
+        vals = self._tree_values(X)
+        # Stage-by-stage accumulation in round order — the exact
+        # addition sequence of the per-tree loop, so packed prediction
+        # stays bit-identical.
         pred = np.full(X.shape[0], self._base)
-        for tree in self.trees:
-            pred += self.learning_rate * tree.predict(X)
+        for t in range(vals.shape[0]):
+            pred += self.learning_rate * vals[t]
         return pred
 
     def staged_predict(self, X) -> np.ndarray:
         """Predictions after each boosting round, shape (rounds, rows)."""
         p = self._require_fitted()
         X = check_X(X, p)
+        vals = self._tree_values(X)
         pred = np.full(X.shape[0], self._base)
         stages = np.empty((len(self.trees), X.shape[0]))
-        for t, tree in enumerate(self.trees):
-            pred = pred + self.learning_rate * tree.predict(X)
+        for t in range(vals.shape[0]):
+            pred = pred + self.learning_rate * vals[t]
             stages[t] = pred
         return stages

@@ -5,18 +5,141 @@ random feature subset considered at every split; the forest predicts
 the mean of its trees.  Out-of-bag (OOB) predictions give an unbiased
 generalization estimate without a held-out set — useful because the
 paper's training sets are only ``nmax = 100`` evaluations.
+
+Prediction runs through a *packed* representation: every tree's flat
+node arrays are concatenated into one offset-indexed structure, so
+scoring the 10k-configuration pool is a single vectorized traversal of
+all trees at once instead of a Python loop of ``n_estimators``
+``tree.predict`` calls.  The packed path routes each row through
+exactly the same comparisons as the per-tree path, so its outputs are
+bit-identical.
 """
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.errors import ModelError
+from repro.ml import _native
 from repro.ml.base import Regressor, check_X, check_Xy
 from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.parallel import default_workers, parallel_map
 from repro.utils.rng import RngFactory
 
-__all__ = ["RandomForestRegressor"]
+__all__ = ["PackedTrees", "RandomForestRegressor"]
+
+
+class PackedTrees:
+    """Offset-indexed concatenation of an ensemble's flat node arrays.
+
+    Child pointers are rebased into the concatenated index space, so a
+    single (tree, row) cursor array can walk every tree of the ensemble
+    simultaneously.  Traversal decisions are the same
+    ``x[feature] <= threshold`` comparisons each tree's own ``apply``
+    performs, so per-tree values read from the packed arrays are
+    bit-identical to ``tree.predict``.
+    """
+
+    __slots__ = (
+        "feature", "threshold", "left", "right", "value", "roots", "_scratch",
+    )
+
+    def __init__(self, trees: list[DecisionTreeRegressor]) -> None:
+        if not trees:
+            raise ModelError("cannot pack an empty ensemble")
+        sizes = np.array([t.nodes.n_nodes for t in trees])
+        offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self.feature = np.concatenate([t.nodes.feature for t in trees])
+        self.threshold = np.concatenate([t.nodes.threshold for t in trees])
+        self.value = np.concatenate([t.nodes.value for t in trees])
+        # Rebase child ids; leaves keep a self-loop-free sentinel as-is.
+        self.left = np.concatenate(
+            [t.nodes.left + off for t, off in zip(trees, offsets)]
+        )
+        self.right = np.concatenate(
+            [t.nodes.right + off for t, off in zip(trees, offsets)]
+        )
+        self.roots = offsets
+        self._scratch: np.ndarray | None = None
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.roots)
+
+    def _values_scratch(self, n: int) -> np.ndarray:
+        """Reusable ``(n_trees, n)`` output buffer.  Scoring a 10k pool
+        materializes a multi-megabyte matrix; a fresh allocation per
+        call pays mmap page faults, so internal hot paths (predict,
+        predict_std, OOB) reuse one buffer.  Only for callers that
+        fully consume the values before the next call — the public
+        ``tree_values`` default stays a fresh allocation."""
+        if self._scratch is None or self._scratch.shape[1] != n:
+            self._scratch = np.empty((self.n_trees, n))
+        return self._scratch
+
+    def tree_values(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Per-tree predictions, shape ``(n_trees, n_rows)``.
+
+        Uses the compiled traversal kernel when the host has a C
+        compiler (bit-identical — same comparisons, same leaf values),
+        otherwise a NumPy traversal with a shrinking active set: each
+        step advances every (tree, row) cursor still at an internal
+        node, dropping cursors as they reach leaves.
+
+        ``out`` is an optional preallocated result buffer; the returned
+        array is authoritative (the NumPy fallback may ignore ``out``).
+        """
+        native = _native.tree_values(
+            self.feature, self.threshold, self.left, self.right,
+            self.value, self.roots, X, out,
+        )
+        if native is not None:
+            return native
+        n_trees = len(self.roots)
+        n = X.shape[0]
+        cur = np.repeat(self.roots, n)
+        rows = np.tile(np.arange(n), n_trees)
+        active = np.flatnonzero(self.feature[cur] >= 0)
+        while active.size:
+            nodes = cur[active]
+            go_left = (
+                X[rows[active], self.feature[nodes]] <= self.threshold[nodes]
+            )
+            nxt = np.where(go_left, self.left[nodes], self.right[nodes])
+            cur[active] = nxt
+            active = active[self.feature[nxt] >= 0]
+        return self.value[cur].reshape(n_trees, n)
+
+    def values_std(self, X: np.ndarray) -> np.ndarray:
+        """Column std of the per-tree predictions, bit-identical to
+        ``tree_values(X).std(axis=0)``.  The fused kernel skips the two
+        extra ``(n_trees, n)`` temporaries NumPy's ``std`` allocates."""
+        vals = self.tree_values(X, out=self._values_scratch(X.shape[0]))
+        std = _native.ensemble_std(vals)
+        if std is not None:
+            return std
+        return vals.std(axis=0)
+
+
+def _fit_one_tree(
+    X: np.ndarray,
+    y: np.ndarray,
+    params: dict,
+    seed: int,
+    t: int,
+) -> tuple[DecisionTreeRegressor, np.ndarray]:
+    """Grow bootstrap tree ``t`` (module-level so process pools can
+    pickle it).  Both the bootstrap and split streams are independent
+    children of the forest seed, so results do not depend on which
+    worker grows which tree."""
+    factory = RngFactory("random-forest", seed=seed)
+    rng = factory.child("tree", t)
+    sample = rng.integers(0, len(y), size=len(y))
+    tree = DecisionTreeRegressor(rng=factory.child("split", t), **params)
+    tree._fit_arrays(X[sample], y[sample])
+    return tree, sample
 
 
 class RandomForestRegressor(Regressor):
@@ -34,6 +157,13 @@ class RandomForestRegressor(Regressor):
     seed:
         Root seed; tree ``i`` draws from an independent child stream,
         so results do not depend on construction order.
+    n_jobs:
+        Worker processes for tree fitting: ``None``/``1`` fits
+        serially, ``-1`` uses :func:`default_workers`.  The child-seed
+        streams make every setting produce identical forests.
+    engine:
+        Split-search engine passed to each tree (``"presort"`` or
+        ``"legacy"``); both grow bit-identical trees.
     """
 
     def __init__(
@@ -44,43 +174,66 @@ class RandomForestRegressor(Regressor):
         min_samples_split: int = 5,
         min_samples_leaf: int = 2,
         seed: int = 0,
+        n_jobs: int | None = None,
+        engine: str = "presort",
     ) -> None:
         if n_estimators < 1:
             raise ModelError(f"n_estimators must be >= 1, got {n_estimators}")
+        if n_jobs is not None and n_jobs == 0:
+            raise ModelError("n_jobs must be a positive count, -1, or None")
         self.n_estimators = n_estimators
         self.max_features = max_features
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.seed = seed
+        self.n_jobs = n_jobs
+        self.engine = engine
         self.trees: list[DecisionTreeRegressor] = []
+        self._packed: PackedTrees | None = None
         self._oob_prediction: np.ndarray | None = None
         self._importances: np.ndarray | None = None
+
+    def _tree_params(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "engine": self.engine,
+        }
 
     def fit(self, X, y) -> "RandomForestRegressor":
         X, y = check_Xy(X, y)
         n, p = X.shape
-        factory = RngFactory("random-forest", seed=self.seed)
-        self.trees = []
+        n_jobs = self.n_jobs
+        if n_jobs == -1:
+            n_jobs = default_workers()
+        if n_jobs is not None and n_jobs > 1:
+            grown = parallel_map(
+                partial(_fit_one_tree, X, y, self._tree_params(), self.seed),
+                range(self.n_estimators),
+                n_workers=n_jobs,
+                chunksize=max(1, self.n_estimators // (4 * n_jobs)),
+            )
+            samples = np.stack([sample for _, sample in grown])
+            self.trees = [tree for tree, _ in grown]
+        else:
+            self.trees, samples = self._fit_serial(X, y, n, p)
+        importances = np.zeros(p)
+        for tree in self.trees:
+            importances += tree.feature_importances_
+        self._packed = PackedTrees(self.trees)
+        # OOB bookkeeping, batched: one bincount per tree gives the O(n)
+        # out-of-bag mask, and one packed traversal of the training rows
+        # yields every tree's predictions at once.
+        vals = self._packed.tree_values(X)
         oob_sum = np.zeros(n)
         oob_count = np.zeros(n)
-        importances = np.zeros(p)
         for t in range(self.n_estimators):
-            rng = factory.child("tree", t)
-            sample = rng.integers(0, n, size=n)
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                rng=factory.child("split", t),
-            )
-            tree.fit(X[sample], y[sample])
-            self.trees.append(tree)
-            importances += tree.feature_importances_
-            out_of_bag = np.setdiff1d(np.arange(n), sample, assume_unique=False)
+            out_of_bag = np.flatnonzero(np.bincount(samples[t], minlength=n) == 0)
             if out_of_bag.size:
-                oob_sum[out_of_bag] += tree.predict(X[out_of_bag])
+                oob_sum[out_of_bag] += vals[t, out_of_bag]
                 oob_count[out_of_bag] += 1
         self._n_features = p
         with np.errstate(invalid="ignore", divide="ignore"):
@@ -90,12 +243,44 @@ class RandomForestRegressor(Regressor):
         self._y_train = y
         return self
 
+    def _fit_serial(
+        self, X: np.ndarray, y: np.ndarray, n: int, p: int
+    ) -> tuple[list[DecisionTreeRegressor], np.ndarray]:
+        """Serial growth with the per-tree root argsorts batched into a
+        single (T, n, p) stable sort — the forest-level half of the
+        presorted split search."""
+        factory = RngFactory("random-forest", seed=self.seed)
+        params = self._tree_params()
+        samples = np.stack(
+            [
+                factory.child("tree", t).integers(0, n, size=n)
+                for t in range(self.n_estimators)
+            ]
+        )
+        Xb = X[samples]  # (T, n, p) bootstrap designs
+        if self.engine == "presort":
+            root_sorted = np.argsort(Xb, axis=1, kind="stable")
+        trees = []
+        for t in range(self.n_estimators):
+            tree = DecisionTreeRegressor(rng=factory.child("split", t), **params)
+            tree._fit_arrays(
+                Xb[t],
+                y[samples[t]],
+                root_sorted=root_sorted[t] if self.engine == "presort" else None,
+            )
+            trees.append(tree)
+        return trees, samples
+
     def predict(self, X) -> np.ndarray:
         p = self._require_fitted()
         X = check_X(X, p)
+        vals = self._tree_values(X)
+        # Accumulate tree-by-tree in index order: the exact addition
+        # sequence of the historical per-tree loop, so results stay
+        # bit-identical to pre-packed forests.
         acc = np.zeros(X.shape[0])
-        for tree in self.trees:
-            acc += tree.predict(X)
+        for t in range(vals.shape[0]):
+            acc += vals[t]
         return acc / len(self.trees)
 
     def predict_std(self, X) -> np.ndarray:
@@ -106,8 +291,18 @@ class RandomForestRegressor(Regressor):
         """
         p = self._require_fitted()
         X = check_X(X, p)
-        preds = np.stack([tree.predict(X) for tree in self.trees])
-        return preds.std(axis=0)
+        if self._packed is None:
+            self._packed = PackedTrees(self.trees)
+        return self._packed.values_std(X)
+
+    def _tree_values(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions via the packed traversal (scratch
+        buffer reused — consume before the next prediction call)."""
+        if self._packed is None:
+            self._packed = PackedTrees(self.trees)
+        return self._packed.tree_values(
+            X, out=self._packed._values_scratch(X.shape[0])
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -9,6 +9,27 @@ The implementation stores the tree in flat parallel arrays so that
 prediction over a 10,000-configuration pool (the paper's ``N``) is a
 handful of vectorized index operations rather than a Python recursion
 per row.
+
+Two split-search engines are available and produce bit-identical trees:
+
+* ``"presort"`` (default) — one global stable argsort per feature at
+  ``fit()``; sorted index partitions are maintained down the tree
+  (sklearn-style), and all candidate features of a node are scanned in
+  a single batched prefix-sum pass.  Growth is O(depth · p · n) after
+  the initial O(p · n log n) sort, and the constant factor is kept low
+  by computing node statistics with raw ufunc reductions (scalar
+  arithmetic for tiny nodes, where NumPy's pairwise summation is
+  defined to be plain left-to-right).
+* ``"legacy"`` — the original per-node-per-feature ``np.argsort``
+  search, O(depth · p · n log n).  Kept verbatim as the reference
+  implementation for equivalence tests and benchmarking.
+
+The bit-identity argument: node rows are always kept in ascending
+global order, so the legacy engine's per-node stable argsort orders
+ties by global row index — exactly the order obtained by restricting a
+global stable argsort to the node's rows, which is what the presorted
+partitions maintain.  Identical element order means identical prefix
+sums, identical SSE values, and identical chosen thresholds.
 """
 
 from __future__ import annotations
@@ -23,6 +44,17 @@ from repro.ml.base import Regressor, check_X, check_Xy
 __all__ = ["DecisionTreeRegressor", "TreeNodes"]
 
 _NO_CHILD = -1
+
+#: Strict-improvement margin shared by both engines so their tie-breaks
+#: (first candidate feature wins within the margin) agree bit-for-bit.
+_SSE_TOL = 1e-12
+
+_ENGINES = ("presort", "legacy")
+
+#: Below this size NumPy's pairwise summation degenerates to a plain
+#: left-to-right loop, so Python scalar arithmetic reproduces it
+#: bit-for-bit and skips several array-op dispatches per node.
+_SCALAR_SUM_MAX = 8
 
 
 @dataclass
@@ -91,7 +123,7 @@ def _best_split(
             continue
         sse = np.where(valid, sse, np.inf)
         pos = int(np.argmin(sse))
-        if sse[pos] < best_sse - 1e-12:
+        if sse[pos] < best_sse - _SSE_TOL:
             best_sse = float(sse[pos])
             threshold = 0.5 * (xs[pos] + xs[pos + 1])
             # Guard against midpoint rounding onto the left value.
@@ -119,6 +151,9 @@ class DecisionTreeRegressor(Regressor):
     rng:
         Generator used for feature subsampling (only consulted when
         ``max_features`` restricts the candidate set).
+    engine:
+        ``"presort"`` (default, fast) or ``"legacy"`` (reference).
+        Both produce bit-identical trees for the same inputs and rng.
     """
 
     def __init__(
@@ -128,6 +163,7 @@ class DecisionTreeRegressor(Regressor):
         min_samples_leaf: int = 1,
         max_features: int | float | str | None = None,
         rng: np.random.Generator | None = None,
+        engine: str = "presort",
     ) -> None:
         if max_depth is not None and max_depth < 0:
             raise ModelError(f"max_depth must be >= 0, got {max_depth}")
@@ -135,11 +171,14 @@ class DecisionTreeRegressor(Regressor):
             raise ModelError(f"min_samples_split must be >= 2, got {min_samples_split}")
         if min_samples_leaf < 1:
             raise ModelError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if engine not in _ENGINES:
+            raise ModelError(f"unknown engine {engine!r} (expected one of {_ENGINES})")
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.engine = engine
         self.nodes: TreeNodes | None = None
         self._importances: np.ndarray | None = None
 
@@ -165,6 +204,22 @@ class DecisionTreeRegressor(Regressor):
 
     def fit(self, X, y) -> "DecisionTreeRegressor":
         X, y = check_Xy(X, y)
+        return self._fit_arrays(X, y)
+
+    def _fit_arrays(
+        self, X: np.ndarray, y: np.ndarray, root_sorted: np.ndarray | None = None
+    ) -> "DecisionTreeRegressor":
+        """Fit on already-validated float arrays.
+
+        ``root_sorted`` optionally supplies the (n, p) global stable
+        argsort of ``X`` (the forest batches these across trees).
+        """
+        if self.engine == "presort":
+            return self._fit_presort(X, y, root_sorted)
+        return self._fit_legacy(X, y)
+
+    # -- legacy engine (reference implementation) ----------------------
+    def _fit_legacy(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
         n, p = X.shape
         k = self._n_candidate_features(p)
 
@@ -226,6 +281,199 @@ class DecisionTreeRegressor(Regressor):
             right[node] = rchild
             stack.append((rchild, right_idx, depth + 1))
 
+        self._store(feature, threshold, left, right, value, counts, impurity,
+                    importances, p)
+        return self
+
+    # -- presort engine (fast path) ------------------------------------
+    def _fit_presort(
+        self, X: np.ndarray, y: np.ndarray, root_sorted: np.ndarray | None
+    ) -> "DecisionTreeRegressor":
+        n, p = X.shape
+        k = self._n_candidate_features(p)
+        msl = self.min_samples_leaf
+        mss = self.min_samples_split
+        max_depth = self.max_depth
+        rng_choice = self.rng.choice
+        add = np.add.reduce  # identical C path to ndarray.sum()
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        counts: list[int] = []
+        impurity: list[float] = []
+        importances = np.zeros(p)
+
+        def new_node(ys: np.ndarray, m: int) -> tuple[int, bool]:
+            """Record a node; returns (id, pure).  Mean/variance follow
+            the exact reduction order of ``ndarray.mean``/``var`` (plain
+            left-to-right below the pairwise-summation cutoff).  Purity
+            needs the explicit all-equal scan: a pure node can still
+            report ``var > 0`` when the mean rounds away from the
+            common value."""
+            node = len(feature)
+            if m < _SCALAR_SUM_MAX:
+                vals = ys.tolist()
+                s = 0.0
+                for v in vals:
+                    s += v
+                mean = s / m
+                q = 0.0
+                for v in vals:
+                    d = v - mean
+                    q += d * d
+                var = q / m
+                first = vals[0]
+                pure = True
+                for v in vals:
+                    if v != first:
+                        pure = False
+                        break
+            else:
+                mean_np = add(ys) / m
+                d = ys - mean_np
+                mean = float(mean_np)
+                var = float(add(d * d) / m)
+                pure = bool((ys == ys[0]).all())
+            feature.append(-1)
+            threshold.append(np.nan)
+            left.append(_NO_CHILD)
+            right.append(_NO_CHILD)
+            value.append(mean)
+            counts.append(m)
+            impurity.append(var)
+            return node, pure
+
+        # Per-node-size scratch reused across the whole growth:
+        # split-position sizes as broadcastable rows plus the
+        # min_samples_leaf validity row.
+        sizes_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray | None]] = {}
+
+        def sizes_for(m: int):
+            got = sizes_cache.get(m)
+            if got is None:
+                sl = np.arange(1, m, dtype=float)
+                sr = m - sl
+                mask = (sl >= msl) & (sr >= msl) if msl > 1 else None
+                got = (sl, sr, mask)
+                sizes_cache[m] = got
+            return got
+
+        arange_p = np.arange(p)
+        arange_k = np.arange(k)
+        inf = np.inf
+
+        def best_split(ys, sorted_T, cand, m):
+            """Batched :func:`_best_split` over presorted row-major
+            (feature, position) matrices — one pass for all candidates."""
+            y_sum = add(ys)
+            y_sq_sum = float(np.dot(ys, ys))
+            sub = sorted_T[cand]  # (k, m) global row ids, contiguous rows
+            xs = X[sub, cand[:, np.newaxis]]  # (k, m) sorted feature values
+            ysm = y[sub]
+            csum = ysm.cumsum(axis=1)
+            csq = (ysm * ysm).cumsum(axis=1)
+            sum_left = csum[:, :-1]
+            sq_left = csq[:, :-1]
+            sum_right = y_sum - sum_left
+            sq_right = y_sq_sum - sq_left
+            sl, sr, msl_mask = sizes_for(m)
+            sse = (sq_left - sum_left**2 / sl) + (sq_right - sum_right**2 / sr)
+            valid = xs[:, 1:] > xs[:, :-1]
+            if msl_mask is not None:
+                valid &= msl_mask
+            col_ok = valid.any(axis=1)
+            if not col_ok.any():
+                return None
+            sse[~valid] = inf
+            pos = sse.argmin(axis=1)
+            cand_best = sse[arange_k if len(cand) == k else arange_p, pos]
+            # Scalar tie-break replaying the legacy per-feature loop:
+            # the first candidate within _SSE_TOL of the running best wins.
+            best = None
+            best_sse = inf
+            for j in range(len(cand)):
+                if not col_ok[j]:
+                    continue
+                if cand_best[j] < best_sse - _SSE_TOL:
+                    best_sse = float(cand_best[j])
+                    p0 = int(pos[j])
+                    thr = 0.5 * (xs[j, p0] + xs[j, p0 + 1])
+                    if thr <= xs[j, p0]:
+                        thr = xs[j, p0 + 1]
+                    best = (int(cand[j]), float(thr), best_sse)
+            return best
+
+        root_idx = np.arange(n)
+        if root_sorted is None:
+            root_sorted = np.argsort(X, axis=0, kind="stable")
+        # Row-major (feature, position) layout keeps every per-node op
+        # on contiguous memory (row slices, axis-1 cumsums, row-major
+        # boolean partition).
+        sorted_T0 = np.ascontiguousarray(root_sorted.T)
+        member = np.zeros(n, dtype=bool)
+
+        def eligible(m: int, depth: int, pure: bool) -> bool:
+            return not (
+                m < mss or (max_depth is not None and depth >= max_depth) or pure
+            )
+
+        root, root_pure = new_node(y, n)
+        stack = []
+        if eligible(n, 0, root_pure):
+            stack.append((root, root_idx, y, 0, sorted_T0))
+        while stack:
+            node, idx, ys, depth, sorted_T = stack.pop()
+            m = len(idx)
+            cand = rng_choice(p, size=k, replace=False) if k < p else arange_p
+            found = best_split(ys, sorted_T, cand, m)
+            if found is None:
+                continue
+            f, thr, sse_after = found
+            sse_before = impurity[node] * m  # impurity is exactly float(ys.var())
+            importances[f] += max(0.0, sse_before - sse_after)
+            go_left = X[idx, f] <= thr
+            not_left = ~go_left
+            ys_left = ys[go_left]
+            ys_right = ys[not_left]
+            n_left = len(ys_left)
+            if n_left == 0 or n_left == m:  # pragma: no cover - guarded by valid
+                continue
+            feature[node] = f
+            threshold[node] = thr
+            lchild, lpure = new_node(ys_left, n_left)
+            left[node] = lchild
+            rchild, rpure = new_node(ys_right, m - n_left)
+            right[node] = rchild
+            child_depth = depth + 1
+            l_ok = eligible(n_left, child_depth, lpure)
+            r_ok = eligible(m - n_left, child_depth, rpure)
+            if l_ok or r_ok:
+                # Stable partition of every presorted row: each row holds
+                # the same row set, so each keeps exactly n_left
+                # left-members, in unchanged relative order.  Skipped
+                # entirely when both children are terminal leaves.
+                left_idx = idx[go_left]
+                member[left_idx] = True
+                sel = member[sorted_T]
+                left_T = sorted_T[sel].reshape(p, n_left)
+                right_T = sorted_T[~sel].reshape(p, m - n_left)
+                member[left_idx] = False
+                if l_ok:
+                    stack.append((lchild, left_idx, ys_left, child_depth, left_T))
+                if r_ok:
+                    stack.append(
+                        (rchild, idx[not_left], ys_right, child_depth, right_T)
+                    )
+
+        self._store(feature, threshold, left, right, value, counts, impurity,
+                    importances, p)
+        return self
+
+    def _store(self, feature, threshold, left, right, value, counts, impurity,
+               importances, p) -> None:
         self.nodes = TreeNodes(
             feature=np.array(feature, dtype=int),
             threshold=np.array(threshold, dtype=float),
@@ -238,7 +486,6 @@ class DecisionTreeRegressor(Regressor):
         total = importances.sum()
         self._importances = importances / total if total > 0 else importances
         self._n_features = p
-        return self
 
     # ------------------------------------------------------------------
     def apply(self, X) -> np.ndarray:
@@ -280,13 +527,18 @@ class DecisionTreeRegressor(Regressor):
         self._require_fitted()
         nodes = self.nodes
         assert nodes is not None
-        depths = np.zeros(nodes.n_nodes, dtype=int)
-        # Children always appear after their parent in the arrays.
-        for i in range(nodes.n_nodes):
-            if nodes.feature[i] != -1:
-                depths[nodes.left[i]] = depths[i] + 1
-                depths[nodes.right[i]] = depths[i] + 1
-        return int(depths.max()) if nodes.n_nodes else 0
+        if nodes.n_nodes == 0:  # pragma: no cover - fit always creates a root
+            return 0
+        # Level-order frontier walk: one vectorized step per level
+        # instead of a Python loop over every node.
+        depth = 0
+        frontier = np.array([0])
+        while True:
+            internal = frontier[nodes.feature[frontier] != -1]
+            if internal.size == 0:
+                return depth
+            frontier = np.concatenate([nodes.left[internal], nodes.right[internal]])
+            depth += 1
 
     @property
     def n_leaves(self) -> int:

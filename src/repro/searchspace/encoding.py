@@ -1,0 +1,96 @@
+"""Cached configuration encoding.
+
+``SearchSpace.encode_many`` rebuilds every feature row in Python on
+each call.  The searches re-encode the same configurations constantly:
+RSb/RSp score one shared 10k pool, SMBO and the online variant re-encode
+an ever-growing training set plus overlapping candidate pools on every
+refit.  :class:`EncodingCache` memoizes rows by ``Configuration.index``
+(the space's stable linearization) and whole pools by their index
+tuple, so repeated encodings are array lookups instead of Python loops.
+
+Returned matrices are marked read-only: they are shared between
+callers, and an accidental in-place edit would silently corrupt every
+later user of the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.searchspace.space import Configuration, SearchSpace
+
+__all__ = ["EncodingCache", "encoding_cache", "encode_cached"]
+
+#: Row-memo size guard — far above any pool this reproduction uses.
+_MAX_ROWS = 200_000
+
+
+class EncodingCache:
+    """Per-space memo of encoded rows and recently encoded pools."""
+
+    def __init__(self, space: SearchSpace, max_pools: int = 8) -> None:
+        self.space = space
+        self.max_pools = max_pools
+        self._rows: dict[int, np.ndarray] = {}
+        self._pools: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def encode_many(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Encoded ``(n, dim)`` matrix; read-only and safe to share."""
+        if not configs:
+            return self.space.encode_many(configs)
+        key = tuple(c.index for c in configs)
+        pool = self._pools.get(key)
+        if pool is not None:
+            self._pools.move_to_end(key)
+            self.hits += 1
+            return pool
+        self.misses += 1
+        rows = self._rows
+        if len(rows) > _MAX_ROWS:  # pragma: no cover - safety valve
+            rows.clear()
+        missing = [c for c in configs if c.index not in rows]
+        if missing:
+            encoded = self.space.encode_many(missing)
+            for c, row in zip(missing, encoded):
+                row = row.copy()
+                row.flags.writeable = False
+                rows[c.index] = row
+        if len(missing) == len(configs):
+            mat = encoded
+        else:
+            mat = np.array([rows[i] for i in key])
+        mat.flags.writeable = False
+        self._pools[key] = mat
+        while len(self._pools) > self.max_pools:
+            self._pools.popitem(last=False)
+        return mat
+
+
+_caches: "WeakKeyDictionary[SearchSpace, EncodingCache]" = WeakKeyDictionary()
+
+
+def encoding_cache(space: SearchSpace) -> EncodingCache:
+    """The shared per-space cache (created on first use).
+
+    Keyed weakly, so a cache lives exactly as long as its space.  Spaces
+    that cannot be weak-referenced get a fresh, unshared cache.
+    """
+    try:
+        cache = _caches.get(space)
+        if cache is None:
+            cache = EncodingCache(space)
+            _caches[space] = cache
+        return cache
+    except TypeError:  # pragma: no cover - space without weakref support
+        return EncodingCache(space)
+
+
+def encode_cached(space: SearchSpace, configs: Sequence[Configuration]) -> np.ndarray:
+    """Encode through the space's shared cache (read-only result)."""
+    return encoding_cache(space).encode_many(configs)

@@ -29,6 +29,7 @@ import numpy as np
 from repro.errors import BudgetExhaustedError, SearchError
 from repro.ml.forest import RandomForestRegressor
 from repro.search.result import EvaluationRecord, SearchTrace
+from repro.searchspace.encoding import encode_cached
 from repro.searchspace.space import Configuration, SearchSpace
 from repro.transfer.surrogate import Surrogate
 from repro.utils.rng import spawn_rng
@@ -138,7 +139,7 @@ def smbo_search(
                 tgt_med = float(np.median([y for _, y in observations]))
                 scale = tgt_med / src_med if src_med > 0 else 1.0
                 training += [(c, y * scale) for c, y in source_data]
-            X = space.encode_many([c for c, _ in training])
+            X = encode_cached(space, [c for c, _ in training])
             y = np.log([v for _, v in training])
             model = RandomForestRegressor(n_estimators=48, min_samples_leaf=2, seed=7)
             model.fit(X, y)
@@ -147,7 +148,7 @@ def smbo_search(
         candidates = [c for c in candidates if c.index not in evaluated]
         if not candidates:
             break
-        Xc = space.encode_many(candidates)
+        Xc = encode_cached(space, candidates)
         mu = model.predict(Xc)
         clock.advance(2e-4 * len(candidates))
         if acquisition == "mean":

@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import ModelError, NotFittedError
 from repro.ml.base import Regressor
 from repro.ml.forest import RandomForestRegressor
+from repro.searchspace.encoding import encoding_cache
 from repro.searchspace.space import Configuration, SearchSpace
 
 __all__ = ["Surrogate"]
@@ -64,6 +65,11 @@ class Surrogate:
         self.fit_seconds = 0.0  # simulated cost of the last fit
         self.n_censored = 0  # censored samples seen by the last fit
         self._fitted = False
+        # Shared per-space encoding cache plus a last-pool prediction
+        # memo (invalidated by fit) — repeated scoring of the same pool
+        # between refits costs one lookup instead of a forest traversal.
+        self._encoding = encoding_cache(space)
+        self._predict_memo: tuple[tuple[int, ...], np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -108,21 +114,33 @@ class Surrogate:
             y = np.where(finite, y_all, impute_factor * float(np.max(y_all[finite])))
         if np.any(y <= 0) and self.log_target:
             raise ModelError("log-target surrogate requires positive runtimes")
-        X = self.space.encode_many(configs)
+        X = self._encoding.encode_many(configs)
         self.learner.fit(X, np.log(y) if self.log_target else y)
         self.fit_seconds = _FIT_BASE_S + _FIT_PER_ROW_S * len(configs)
         self._fitted = True
+        self._predict_memo = None
         return self
 
     def predict(self, configs: Sequence[Configuration]) -> np.ndarray:
-        """Predicted runtimes for a batch of configurations."""
+        """Predicted runtimes for a batch of configurations.
+
+        The result is read-only (it may be served from the memo shared
+        with later calls); copy before mutating.
+        """
         if not self._fitted:
             raise NotFittedError("surrogate has not been fitted")
         if len(configs) == 0:
             return np.empty(0)
-        X = self.space.encode_many(list(configs))
+        key = tuple(c.index for c in configs)
+        memo = self._predict_memo
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        X = self._encoding.encode_many(list(configs))
         pred = self.learner.predict(X)
-        return np.exp(pred) if self.log_target else pred
+        out = np.exp(pred) if self.log_target else pred
+        out.flags.writeable = False
+        self._predict_memo = (key, out)
+        return out
 
     def predict_one(self, config: Configuration) -> float:
         return float(self.predict([config])[0])

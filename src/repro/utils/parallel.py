@@ -28,8 +28,24 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+#: Above this many items per worker, results are streamed back with
+#: ``imap`` in larger chunks instead of one bulk ``map`` — large grids
+#: stop accumulating every pickled task up front.
+_IMAP_THRESHOLD = 64
+
+
 def default_workers(cap: int = 8) -> int:
-    """A sensible worker count: physical-ish cores, capped."""
+    """A sensible worker count: physical-ish cores, capped.
+
+    The ``REPRO_WORKERS`` environment variable overrides the heuristic
+    (useful on shared CI machines and for forcing serial runs).
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_WORKERS must be an integer, got {env!r}")
     cpus = os.cpu_count() or 1
     return max(1, min(cap, cpus - 1 if cpus > 1 else 1))
 
@@ -38,23 +54,30 @@ def parallel_map(
     func: Callable[[T], R],
     items: Sequence[T] | Iterable[T],
     n_workers: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
 ) -> list[R]:
     """Order-preserving parallel map with a serial fallback.
 
     Results come back in input order regardless of completion order.
     Exceptions raised by ``func`` propagate to the caller (the pool is
-    torn down cleanly first).
+    torn down cleanly first).  ``chunksize=None`` picks a chunk size
+    that balances dispatch overhead against load balance.
     """
     items = list(items)
     if n_workers is None:
         n_workers = default_workers()
     if n_workers <= 1 or len(items) <= 1:
         return [func(item) for item in items]
-    # 'spawn' keeps worker state clean (no inherited module globals
-    # mid-mutation) at the cost of re-import; 'fork' is faster where
-    # available.  Use the platform default via get_context(None)'s
-    # fork on Linux, which this project targets.
+    n_workers = min(n_workers, len(items))
+    if chunksize is None:
+        chunksize = max(1, len(items) // (4 * n_workers))
+    # 'fork' is used where available (Linux, this project's target): it
+    # skips re-importing the interpreter per worker and inherits the
+    # read-only experiment state cheaply.  Determinism does not depend
+    # on the start method — all randomness flows from explicit seeds —
+    # so platforms without fork fall back to 'spawn'.
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    with ctx.Pool(processes=min(n_workers, len(items))) as pool:
-        return pool.map(func, items, chunksize=max(1, chunksize))
+    with ctx.Pool(processes=n_workers) as pool:
+        if len(items) > _IMAP_THRESHOLD * n_workers:
+            return list(pool.imap(func, items, chunksize=chunksize))
+        return pool.map(func, items, chunksize=chunksize)

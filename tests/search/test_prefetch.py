@@ -1,0 +1,59 @@
+"""Prediction prefetch in RSp must not change traces.
+
+Batched model queries only reorder *computation*; the simulated clock
+is still charged per stream position, so traces are bit-identical for
+any prefetch size.
+"""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.kernels import get_kernel
+from repro.machines import SANDYBRIDGE, WESTMERE
+from repro.orio.evaluator import OrioEvaluator
+from repro.perf.simclock import SimClock
+from repro.search import SharedStream, pruned_search, random_search
+from repro.transfer.surrogate import Surrogate
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return get_kernel("lu", n=128)
+
+
+@pytest.fixture(scope="module")
+def surrogate(kernel):
+    ev = OrioEvaluator(kernel, WESTMERE, clock=SimClock())
+    trace = random_search(ev, SharedStream(kernel.space, seed="t"), nmax=60)
+    return Surrogate(kernel.space).fit(trace.training_data())
+
+
+def run(kernel, surrogate, **kwargs):
+    evaluator = OrioEvaluator(kernel, SANDYBRIDGE, clock=SimClock())
+    return pruned_search(
+        evaluator,
+        SharedStream(kernel.space, seed="a"),
+        surrogate,
+        nmax=25,
+        pool_size=1_000,
+        **kwargs,
+    )
+
+
+def test_prefetch_sizes_produce_identical_traces(kernel, surrogate):
+    baseline = run(kernel, surrogate, prefetch=1)  # the unbatched walk
+    for prefetch in (7, 256):
+        trace = run(kernel, surrogate, prefetch=prefetch)
+        assert trace.configs() == baseline.configs()
+        assert [r.runtime for r in trace.records] == [
+            r.runtime for r in baseline.records
+        ]
+        assert [r.elapsed for r in trace.records] == [
+            r.elapsed for r in baseline.records
+        ]
+        assert trace.metadata == baseline.metadata
+
+
+def test_prefetch_validation(kernel, surrogate):
+    with pytest.raises(SearchError):
+        run(kernel, surrogate, prefetch=0)

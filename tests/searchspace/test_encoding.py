@@ -1,0 +1,69 @@
+"""Tests for the per-space encoding cache."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernel
+from repro.searchspace.encoding import EncodingCache, encode_cached, encoding_cache
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def space():
+    return get_kernel("lu", n=128).space
+
+
+@pytest.fixture(scope="module")
+def pool(space):
+    return space.sample(spawn_rng("encoding-test"), 50)
+
+
+class TestEncodingCache:
+    def test_matches_uncached_encoding(self, space, pool):
+        np.testing.assert_array_equal(
+            EncodingCache(space).encode_many(pool), space.encode_many(pool)
+        )
+
+    def test_repeat_pool_is_a_hit(self, space, pool):
+        cache = EncodingCache(space)
+        first = cache.encode_many(pool)
+        again = cache.encode_many(pool)
+        assert again is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_row_memo_reused_across_pools(self, space, pool):
+        cache = EncodingCache(space)
+        cache.encode_many(pool)
+        # A permutation is a different pool but every row is memoized.
+        reordered = list(reversed(pool))
+        np.testing.assert_array_equal(
+            cache.encode_many(reordered), space.encode_many(reordered)
+        )
+
+    def test_partial_overlap(self, space, pool):
+        cache = EncodingCache(space)
+        cache.encode_many(pool[:30])
+        np.testing.assert_array_equal(
+            cache.encode_many(pool), space.encode_many(pool)
+        )
+
+    def test_result_is_read_only(self, space, pool):
+        mat = EncodingCache(space).encode_many(pool)
+        with pytest.raises(ValueError):
+            mat[0, 0] = 1.0
+
+    def test_empty_pool(self, space):
+        assert EncodingCache(space).encode_many([]).shape[0] == 0
+
+    def test_pool_lru_eviction(self, space, pool):
+        cache = EncodingCache(space, max_pools=2)
+        cache.encode_many(pool[:10])
+        cache.encode_many(pool[10:20])
+        cache.encode_many(pool[20:30])
+        assert len(cache._pools) == 2
+
+    def test_shared_cache_per_space(self, space, pool):
+        assert encoding_cache(space) is encoding_cache(space)
+        np.testing.assert_array_equal(
+            encode_cached(space, pool), space.encode_many(pool)
+        )

@@ -52,3 +52,24 @@ class TestParallelMap:
         assert parallel_map(square, (i for i in range(5)), n_workers=2) == [
             0, 1, 4, 9, 16,
         ]
+
+    def test_large_grid_uses_imap_chunking(self):
+        # Crosses the imap threshold for 2 workers; results must still
+        # come back complete and in order.
+        items = list(range(300))
+        assert parallel_map(square, items, n_workers=2) == [i * i for i in items]
+
+
+class TestWorkerOverride:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_override_floors_at_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_env_override_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            default_workers()
