@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench faults report examples clean
+.PHONY: install test bench faults chaos report examples clean
+
+# Chaos knobs for `make chaos` (override on the command line).
+CHAOS_RATE ?= 0.5
+CHAOS_SEED ?= 7
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -24,6 +28,16 @@ bench:
 
 faults:
 	$(PYTHON) -m pytest -x -q benchmarks/test_ablations.py::test_fault_ablation --benchmark-only
+
+# Run the executor test suite under amplified deterministic worker
+# kills (REPRO_CHAOS_RATE of task dispatches die on arrival), then the
+# tier-1 suite to prove the chaos run left nothing broken behind.  The
+# default `make test` already includes tests/exec at its built-in
+# chaos pressure; this target turns the injection up.
+chaos:
+	REPRO_CHAOS_RATE=$(CHAOS_RATE) REPRO_CHAOS_SEED=$(CHAOS_SEED) \
+		$(PYTHON) -m pytest -x -q tests/exec
+	$(PYTHON) -m pytest -x -q tests/
 
 report:
 	$(PYTHON) -m repro report --output EXPERIMENTS.generated.md

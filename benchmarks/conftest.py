@@ -20,6 +20,21 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def registry_dir(results_dir) -> Path:
+    """Journal directory for the resumable figure/table grids.
+
+    Every grid benchmark passes ``registry_path`` into this directory,
+    so a killed or crashed benchmark run resumes instead of restarting:
+    completed cells are merged back from the journal bit-identically.
+    Set ``REPRO_RESUME=0`` to force a cold re-run (e.g. when timing),
+    or delete the directory.  The journals are gitignored.
+    """
+    path = results_dir / "registry"
+    path.mkdir(exist_ok=True)
+    return path
+
+
 @pytest.fixture
 def save_artifact(results_dir):
     """save_artifact(name, text): persist a rendered table/figure."""

@@ -11,9 +11,13 @@ import numpy as np
 from repro.experiments import run_figure3
 
 
-def test_figure3(benchmark, save_artifact):
+def test_figure3(benchmark, save_artifact, registry_dir):
     panels = benchmark.pedantic(
-        lambda: run_figure3(seed=0, nmax=100), rounds=1, iterations=1
+        lambda: run_figure3(
+            seed=0, nmax=100, registry_path=registry_dir / "figure3.jsonl"
+        ),
+        rounds=1,
+        iterations=1,
     )
     save_artifact("figure3", panels.render())
     from pathlib import Path

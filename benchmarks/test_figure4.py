@@ -8,9 +8,13 @@ high-performing region transfers.
 from repro.experiments import run_figure1, run_figure4
 
 
-def test_figure4(benchmark, save_artifact):
+def test_figure4(benchmark, save_artifact, registry_dir):
     panels = benchmark.pedantic(
-        lambda: run_figure4(seed=0, nmax=100), rounds=1, iterations=1
+        lambda: run_figure4(
+            seed=0, nmax=100, registry_path=registry_dir / "figure4.jsonl"
+        ),
+        rounds=1,
+        iterations=1,
     )
     save_artifact("figure4", panels.render())
 

@@ -13,9 +13,13 @@ from repro.machines import ICC, get_machine
 from repro.orio.evaluator import OrioEvaluator
 
 
-def test_figure5(benchmark, save_artifact):
+def test_figure5(benchmark, save_artifact, registry_dir):
     panels = benchmark.pedantic(
-        lambda: run_figure5(seed=0, nmax=100), rounds=1, iterations=1
+        lambda: run_figure5(
+            seed=0, nmax=100, registry_path=registry_dir / "figure5.jsonl"
+        ),
+        rounds=1,
+        iterations=1,
     )
     save_artifact("figure5", panels.render())
 

@@ -12,9 +12,13 @@ from repro.experiments import run_table4
 from repro.experiments.table4 import SOURCES
 
 
-def test_table4(benchmark, save_artifact):
+def test_table4(benchmark, save_artifact, registry_dir):
     result = benchmark.pedantic(
-        lambda: run_table4(seed=0, nmax=100), rounds=1, iterations=1
+        lambda: run_table4(
+            seed=0, nmax=100, registry_path=registry_dir / "table4.jsonl"
+        ),
+        rounds=1,
+        iterations=1,
     )
     save_artifact("table4", result.render())
 

@@ -8,9 +8,13 @@ search-time speedups.
 from repro.experiments import run_table5
 
 
-def test_table5(benchmark, save_artifact):
+def test_table5(benchmark, save_artifact, registry_dir):
     result = benchmark.pedantic(
-        lambda: run_table5(seed=0, nmax=100), rounds=1, iterations=1
+        lambda: run_table5(
+            seed=0, nmax=100, registry_path=registry_dir / "table5.jsonl"
+        ),
+        rounds=1,
+        iterations=1,
     )
     save_artifact("table5", result.render())
 

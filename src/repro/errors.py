@@ -112,6 +112,34 @@ class CompileCrashError(CompilationError, EvaluationFailure):
     """
 
 
+class WorkerCrashError(EvaluationFailure):
+    """A worker process died (segfault, OOM kill, ``os._exit``) mid-task.
+
+    Operational by nature: the supervisor kills nothing — the process
+    simply vanished — so the executor respawns the worker and retries
+    the cell.  ``exitcode`` is the observed process exit code (negative
+    for deaths by signal, ``None`` when the process disappeared without
+    reporting one).
+    """
+
+    def __init__(self, message: str, exitcode: int | None = None) -> None:
+        self.exitcode = exitcode
+        super().__init__(message)
+
+
+class TaskTimeoutError(EvaluationFailure):
+    """A supervised task ran past its wall-clock timeout or stopped
+    heartbeating; the worker was killed and the cell is retried.
+
+    ``elapsed`` is the wall-clock seconds the task had been running
+    when the supervisor gave up on it.
+    """
+
+    def __init__(self, message: str, elapsed: float | None = None) -> None:
+        self.elapsed = None if elapsed is None else float(elapsed)
+        super().__init__(message)
+
+
 class SearchError(ReproError):
     """A search algorithm was configured or driven incorrectly."""
 
@@ -122,6 +150,24 @@ class StreamExhaustedError(SearchError):
 
 class CheckpointError(ReproError):
     """A search checkpoint could not be written, read, or applied."""
+
+
+class RegistryCorruptionError(CheckpointError, EvaluationFailure):
+    """A run-registry journal contains a record that cannot be decoded.
+
+    Both persistence damage (a :class:`CheckpointError` — the JSONL
+    journal is the run's durable state) and an operational failure the
+    execution layer knows how to handle (an :class:`EvaluationFailure`):
+    a torn *final* record — the signature of a crash mid-append — is
+    dropped and the grid resumes; damage anywhere else raises this
+    error with the offending location.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 offset: int | None = None) -> None:
+        self.path = path
+        self.offset = offset
+        super().__init__(message)
 
 
 class ExperimentError(ReproError):

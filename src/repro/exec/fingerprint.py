@@ -1,0 +1,127 @@
+"""Deterministic cell fingerprints for the run registry.
+
+A grid cell is journaled and resumed by *fingerprint*: a stable hash of
+the experiment name, the cell's arguments, its seed, and the code
+version.  Two processes (or two invocations weeks apart) that would run
+the same pure computation derive the same fingerprint, so a journaled
+result can stand in for re-execution bit-for-bit.  Anything that could
+change the result — different cell args, a different seed, a new code
+version — changes the fingerprint, and the stale journal entry is
+simply never matched again (the journal is append-only; nothing is
+rewritten).
+
+Hashing goes through a *canonical JSON* form rather than ``repr`` or
+``pickle``: key order is sorted, tuples and lists collapse to arrays,
+NumPy scalars collapse to Python numbers, and non-finite floats get
+explicit spellings — so the fingerprint is identical across processes,
+platforms, and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Any
+
+__all__ = [
+    "canonical",
+    "canonical_json",
+    "cell_fingerprint",
+    "code_version",
+]
+
+#: Hex digest length of a fingerprint (128 bits of SHA-256 — far beyond
+#: collision risk for any realistic grid, and short enough to journal
+#: and eyeball).
+FINGERPRINT_HEX_CHARS = 32
+
+
+def code_version() -> str:
+    """The code version folded into every fingerprint.
+
+    ``REPRO_CODE_VERSION`` overrides (useful to pin a journal across a
+    refactor known not to change results); the package version is the
+    default.  A version bump deliberately invalidates journaled cells.
+    """
+    env = os.environ.get("REPRO_CODE_VERSION")
+    if env:
+        return env
+    from repro._version import __version__
+
+    return __version__
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-ready value.
+
+    Supported: ``None``, bools, ints, floats (non-finite included),
+    strings, bytes, tuples/lists/sets, dicts with scalar keys,
+    dataclasses, and NumPy scalars/arrays.  Anything else raises
+    ``TypeError`` — an object whose identity cannot be canonicalized
+    must not silently fingerprint by memory address.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # json.dumps would emit non-portable Infinity/NaN literals.
+        if math.isnan(obj):
+            return {"__float__": "nan"}
+        if math.isinf(obj):
+            return {"__float__": "inf" if obj > 0 else "-inf"}
+        return obj
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__, "fields": canonical(asdict(obj))}
+    if isinstance(obj, dict):
+        items = [(str(k), canonical(v)) for k, v in obj.items()]
+        items.sort(key=lambda kv: kv[0])
+        return {k: v for k, v in items}
+    if isinstance(obj, (tuple, list)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(canonical(v), sort_keys=True) for v in obj)}
+    # NumPy scalars/arrays without importing numpy eagerly.
+    item = getattr(obj, "item", None)
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist) and hasattr(obj, "dtype"):
+        return canonical(tolist())
+    if callable(item) and hasattr(obj, "dtype"):
+        return canonical(item())
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for fingerprinting; "
+        "pass primitives, tuples, dicts, or dataclasses as cell keys"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON string of ``obj`` (sorted keys, no spaces)."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def cell_fingerprint(
+    experiment: str,
+    key: Any,
+    seed: Any = None,
+    version: str | None = None,
+) -> str:
+    """The registry fingerprint of one grid cell.
+
+    ``key`` is whatever uniquely identifies the cell inside the
+    experiment (typically the spec tuple handed to the worker); ``seed``
+    may be folded into the key instead — passing it separately merely
+    makes the dependency explicit at call sites.
+    """
+    payload = canonical_json(
+        {
+            "experiment": experiment,
+            "key": key,
+            "seed": seed,
+            "code": version if version is not None else code_version(),
+        }
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return digest[:FINGERPRINT_HEX_CHARS]

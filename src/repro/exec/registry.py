@@ -1,0 +1,312 @@
+"""The journaled run registry: crash-safe memory of completed cells.
+
+A :class:`RunRegistry` is an append-only JSONL journal.  Every record
+is one line of strict JSON, written with a single ``write`` call,
+flushed, and ``fsync``'d before the append returns — after a crash the
+journal contains every acknowledged record plus at most one torn final
+line.  Loading tolerates exactly that: a final line that does not parse
+(or whose payload fails its checksum) is dropped with a warning and
+truncated from the file — it is the signature of a process killed
+mid-append, and truncating keeps later appends from gluing a fresh
+record onto the torn partial line — while damage anywhere
+else raises :class:`~repro.errors.RegistryCorruptionError` with the
+byte offset, because silent data loss in the middle of a journal means
+something other than a crash happened to the file.
+
+Records are keyed by the deterministic cell fingerprint
+(:mod:`repro.exec.fingerprint`); completed cells carry their result as
+a base64 pickle with a SHA-256 checksum, so resuming a grid
+re-materializes bit-identical objects without re-running anything.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import RegistryCorruptionError
+
+__all__ = ["RECORD_VERSION", "RunRecord", "RunRegistry", "resume_enabled"]
+
+RECORD_VERSION = 1
+
+#: Record statuses a journal line may carry.
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
+
+
+def resume_enabled(default: bool = True) -> bool:
+    """Whether grids should skip journaled cells (``REPRO_RESUME``).
+
+    ``REPRO_RESUME=0`` (or ``false``/``no``/``off``) is the escape
+    hatch: every cell re-runs and the journal is re-written entry by
+    entry as cells complete.
+    """
+    env = os.environ.get("REPRO_RESUME")
+    if env is None or env == "":
+        return default
+    return env.strip().lower() not in ("0", "false", "no", "off")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One journaled cell outcome."""
+
+    fingerprint: str
+    experiment: str
+    status: str  # STATUS_COMPLETED | STATUS_FAILED
+    key: Any = None
+    payload: bytes | None = None  # raw pickle of the result (completed only)
+    error: str | None = None  # exception class name (failed only)
+    message: str | None = None
+    attempts: int = 1
+    timestamp: float = 0.0
+    version: int = RECORD_VERSION
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return self.status == STATUS_COMPLETED
+
+    def result(self) -> Any:
+        """Re-materialize the journaled result object."""
+        if self.payload is None:
+            raise RegistryCorruptionError(
+                f"record {self.fingerprint} has status {self.status!r} "
+                "and carries no result payload"
+            )
+        return pickle.loads(self.payload)
+
+
+def _record_to_json(record: RunRecord) -> str:
+    data: dict[str, Any] = {
+        "v": record.version,
+        "fp": record.fingerprint,
+        "experiment": record.experiment,
+        "status": record.status,
+        "attempts": record.attempts,
+        "ts": record.timestamp,
+    }
+    if record.key is not None:
+        data["key"] = record.key
+    if record.payload is not None:
+        data["payload"] = base64.b64encode(record.payload).decode("ascii")
+        data["sha"] = hashlib.sha256(record.payload).hexdigest()
+    if record.error is not None:
+        data["error"] = record.error
+    if record.message is not None:
+        data["message"] = record.message
+    if record.meta:
+        data["meta"] = record.meta
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _record_from_dict(data: dict) -> RunRecord:
+    payload = None
+    if "payload" in data:
+        payload = base64.b64decode(data["payload"])
+        sha = hashlib.sha256(payload).hexdigest()
+        if sha != data.get("sha"):
+            raise ValueError("payload checksum mismatch")
+    version = int(data.get("v", -1))
+    if version != RECORD_VERSION:
+        raise ValueError(f"record version {version} not supported")
+    return RunRecord(
+        fingerprint=str(data["fp"]),
+        experiment=str(data.get("experiment", "")),
+        status=str(data["status"]),
+        key=data.get("key"),
+        payload=payload,
+        error=data.get("error"),
+        message=data.get("message"),
+        attempts=int(data.get("attempts", 1)),
+        timestamp=float(data.get("ts", 0.0)),
+        version=version,
+        meta=data.get("meta", {}),
+    )
+
+
+@dataclass
+class RegistryState:
+    """The journal as loaded: last record per fingerprint wins."""
+
+    completed: dict[str, RunRecord] = field(default_factory=dict)
+    failed: dict[str, RunRecord] = field(default_factory=dict)
+    n_records: int = 0
+    dropped_partial: bool = False
+
+    def record_for(self, fingerprint: str) -> RunRecord | None:
+        return self.completed.get(fingerprint) or self.failed.get(fingerprint)
+
+
+class RunRegistry:
+    """Append-only JSONL journal of grid-cell outcomes at one path."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _repair_tail(self) -> None:
+        """Truncate a torn trailing write so the journal ends on a newline.
+
+        Without this, appending after a crash would glue the new record
+        onto the torn partial line, turning a recoverable torn tail into
+        unrecoverable mid-file corruption.  Fast path: one byte read.
+        """
+        try:
+            with open(self.path, "rb+") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if size == 0:
+                    return
+                fh.seek(size - 1)
+                if fh.read(1) == b"\n":
+                    return
+                fh.seek(0)
+                blob = fh.read()
+                fh.truncate(blob.rfind(b"\n") + 1)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except FileNotFoundError:
+            return
+
+    def append(self, record: RunRecord) -> None:
+        """Durably append one record (single write + flush + fsync)."""
+        line = (_record_to_json(record) + "\n").encode("utf-8")
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        try:
+            self._repair_tail()
+        except OSError:
+            pass  # best-effort; load() raises if real damage remains
+        with open(self.path, "ab") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def mark_completed(
+        self,
+        fingerprint: str,
+        experiment: str,
+        result: Any,
+        key: Any = None,
+        attempts: int = 1,
+        meta: dict | None = None,
+    ) -> RunRecord:
+        record = RunRecord(
+            fingerprint=fingerprint,
+            experiment=experiment,
+            status=STATUS_COMPLETED,
+            key=key,
+            payload=pickle.dumps(result, protocol=4),
+            attempts=attempts,
+            timestamp=time.time(),
+            meta=meta or {},
+        )
+        self.append(record)
+        return record
+
+    def mark_failed(
+        self,
+        fingerprint: str,
+        experiment: str,
+        error: str,
+        message: str,
+        key: Any = None,
+        attempts: int = 1,
+        meta: dict | None = None,
+    ) -> RunRecord:
+        record = RunRecord(
+            fingerprint=fingerprint,
+            experiment=experiment,
+            status=STATUS_FAILED,
+            key=key,
+            error=error,
+            message=message,
+            attempts=attempts,
+            timestamp=time.time(),
+            meta=meta or {},
+        )
+        self.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _iter_lines(self) -> Iterator[tuple[int, bytes, bool]]:
+        """Yield ``(byte_offset, line, is_final)`` for every journal line."""
+        with open(self.path, "rb") as fh:
+            blob = fh.read()
+        offset = 0
+        segments = blob.split(b"\n")
+        # A well-formed journal ends with a newline, so the final split
+        # segment is empty; anything else is a torn trailing write.
+        for i, segment in enumerate(segments):
+            if segment:
+                yield offset, segment, i == len(segments) - 1
+            offset += len(segment) + 1
+
+    def load(self) -> RegistryState:
+        """Replay the journal into its latest per-fingerprint state.
+
+        A torn final line is dropped (with a warning); malformed data
+        anywhere else raises :class:`RegistryCorruptionError` naming the
+        path and byte offset.
+        """
+        state = RegistryState()
+        if not self.exists():
+            return state
+        for offset, line, is_final in self._iter_lines():
+            try:
+                record = _record_from_dict(json.loads(line.decode("utf-8")))
+            except (ValueError, KeyError, TypeError) as exc:
+                if is_final:
+                    state.dropped_partial = True
+                    try:
+                        self._repair_tail()
+                    except OSError:
+                        pass  # read-only journal: drop in memory only
+                    warnings.warn(
+                        f"run registry {self.path!r}: dropping torn final "
+                        f"record at byte offset {offset} ({exc}); the cell "
+                        "will simply re-run",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    break
+                raise RegistryCorruptionError(
+                    f"run registry {self.path!r} is corrupt at byte offset "
+                    f"{offset}: {exc}",
+                    path=self.path,
+                    offset=offset,
+                ) from exc
+            state.n_records += 1
+            if record.completed:
+                state.completed[record.fingerprint] = record
+                state.failed.pop(record.fingerprint, None)
+            else:
+                # A later failure does not un-complete a cell.
+                if record.fingerprint not in state.completed:
+                    state.failed[record.fingerprint] = record
+        return state
+
+    def completed_fingerprints(self) -> set[str]:
+        return set(self.load().completed)
+
+    def clear(self) -> None:
+        """Delete the journal (a fresh grid starts from nothing)."""
+        if self.exists():
+            os.remove(self.path)

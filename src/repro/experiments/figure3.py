@@ -19,7 +19,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.experiments.harness import build_session
+from repro.experiments.harness import build_session, grid_map
 from repro.search.result import SearchTrace
 from repro.transfer.metrics import SpeedupReport
 from repro.transfer.session import TransferOutcome
@@ -128,6 +128,31 @@ class FigurePanels:
         return head + "\n\n".join(p.render() for p in self.panels)
 
 
+def _run_panel(spec: tuple) -> PanelResult:
+    """One problem row — module level so it can run in a worker."""
+    problem, source, target, compiler, seed, nmax, openmp, threads = spec
+    session = build_session(
+        problem,
+        source,
+        target,
+        compiler=compiler,
+        seed=seed,
+        nmax=nmax,
+        openmp=openmp,
+        threads=threads,
+    )
+    outcome = session.run()
+    rho_p, rho_s = outcome.correlation()
+    return PanelResult(
+        problem=problem,
+        source=source,
+        target=target,
+        outcome=outcome,
+        pearson=rho_p,
+        spearman=rho_s,
+    )
+
+
 def run_panels(
     name: str,
     problems: Sequence[str],
@@ -138,32 +163,29 @@ def run_panels(
     nmax: int = 100,
     openmp: bool = False,
     threads: int | dict = 1,
+    n_workers: int = 1,
+    registry_path=None,
 ) -> FigurePanels:
-    """Run the full panel experiment for one machine pair."""
-    panels = []
-    for problem in problems:
-        session = build_session(
-            problem,
-            source,
-            target,
-            compiler=compiler,
-            seed=seed,
-            nmax=nmax,
-            openmp=openmp,
-            threads=threads,
-        )
-        outcome = session.run()
-        rho_p, rho_s = outcome.correlation()
-        panels.append(
-            PanelResult(
-                problem=problem,
-                source=source,
-                target=target,
-                outcome=outcome,
-                pearson=rho_p,
-                spearman=rho_s,
-            )
-        )
+    """Run the full panel experiment for one machine pair.
+
+    The per-problem rows are independent cells routed through
+    :func:`~repro.experiments.harness.grid_map`: supervised when fanned
+    out, journaled/resumable when ``registry_path`` is given.
+    """
+    experiment = name.lower().replace(" ", "")
+    specs = [
+        (problem, source, target, compiler, seed, nmax, openmp, threads)
+        for problem in problems
+    ]
+    keys = [
+        (problem, source, target, compiler, str(seed), nmax, openmp,
+         sorted(threads.items()) if isinstance(threads, dict) else threads)
+        for problem in problems
+    ]
+    panels = grid_map(
+        experiment, _run_panel, specs,
+        keys=keys, n_workers=n_workers, registry_path=registry_path,
+    )
     return FigurePanels(name=name, source=source, target=target, panels=tuple(panels))
 
 
@@ -171,9 +193,11 @@ def run_figure3(
     problems: Sequence[str] = ("ATAX", "LU", "HPL", "RT"),
     seed: object = 0,
     nmax: int = 100,
+    n_workers: int = 1,
+    registry_path=None,
 ) -> FigurePanels:
     """Figure 3: Westmere as source, Sandybridge as target (gcc -O3)."""
     return run_panels(
         "Figure 3", problems, source="westmere", target="sandybridge",
-        seed=seed, nmax=nmax,
+        seed=seed, nmax=nmax, n_workers=n_workers, registry_path=registry_path,
     )

@@ -19,9 +19,11 @@ def run_figure4(
     problems: Sequence[str] = ("ATAX", "LU", "HPL", "RT"),
     seed: object = 0,
     nmax: int = 100,
+    n_workers: int = 1,
+    registry_path=None,
 ) -> FigurePanels:
     """Figure 4: Sandybridge as source, Power 7 as target (gcc -O3)."""
     return run_panels(
         "Figure 4", problems, source="sandybridge", target="power7",
-        seed=seed, nmax=nmax,
+        seed=seed, nmax=nmax, n_workers=n_workers, registry_path=registry_path,
     )

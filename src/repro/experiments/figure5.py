@@ -27,6 +27,8 @@ def run_figure5(
     source: str = "sandybridge",
     seed: object = 0,
     nmax: int = 100,
+    n_workers: int = 1,
+    registry_path=None,
 ) -> FigurePanels:
     """Figure 5: Sandybridge -> Xeon Phi with icc + OpenMP."""
     return run_panels(
@@ -39,4 +41,6 @@ def run_figure5(
         threads=dict(XEON_PHI_THREADS),
         seed=seed,
         nmax=nmax,
+        n_workers=n_workers,
+        registry_path=registry_path,
     )

@@ -1,8 +1,16 @@
-"""Shared experiment plumbing: the six problems and session builders."""
+"""Shared experiment plumbing: problems, session builders, grid runner.
+
+Besides the six problems of the evaluation, this module hosts
+:func:`grid_map` — the one entry point every figure/table/ablation
+driver uses to run its independent cells.  All grids therefore share
+the same execution layer: the supervised executor (worker supervision,
+retry, quarantine) and, when a journal path is given, crash-safe
+journaling with skip-and-resume (see :mod:`repro.exec`).
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import ExperimentError
 from repro.kernels import get_kernel
@@ -10,7 +18,13 @@ from repro.machines import get_compiler, get_machine
 from repro.miniapps import MiniappEvaluator, make_hpl, make_raytracer
 from repro.transfer.session import TransferSession
 
-__all__ = ["PROBLEMS", "build_problem", "build_session", "XEON_PHI_THREADS"]
+__all__ = [
+    "PROBLEMS",
+    "build_problem",
+    "build_session",
+    "grid_map",
+    "XEON_PHI_THREADS",
+]
 
 # The six problems of the evaluation: four SPAPT kernels driven through
 # the mini-Orio, two mini-applications driven through the OpenTuner-
@@ -20,6 +34,50 @@ PROBLEMS: tuple[str, ...] = ("MM", "ATAX", "LU", "COR", "HPL", "RT")
 # Thread counts of the Xeon Phi experiments (Section V): "We set 8
 # threads for Sandybridge and Westmere ... and 60 threads for the Phi."
 XEON_PHI_THREADS = {"westmere": 8, "sandybridge": 8, "xeonphi": 60}
+
+
+def grid_map(
+    experiment: str,
+    func: Callable,
+    specs: Sequence,
+    *,
+    keys: Sequence | None = None,
+    n_workers: int | None = 1,
+    registry_path=None,
+    resume: bool | None = None,
+    task_timeout: float | str | None = "env",
+    max_task_retries: int = 2,
+    chaos=None,
+    strict: bool = True,
+) -> list:
+    """Run one experiment's independent cells through the supervised
+    executor, journaled and resumable when ``registry_path`` is given.
+
+    Cells quarantined after exhausting their retries surface as an
+    :class:`~repro.errors.ExperimentError` when ``strict`` (the
+    default) — but only *after* every completed sibling has been
+    durably journaled, so the failed invocation loses nothing and a
+    re-invocation retries just the failures.  ``strict=False`` returns
+    :class:`~repro.exec.CellFailure` entries in place of the missing
+    results for drivers that can render holes.
+    """
+    from repro.exec import run_grid
+
+    outcome = run_grid(
+        experiment,
+        func,
+        specs,
+        keys=keys,
+        registry=registry_path,
+        resume=resume,
+        n_workers=n_workers,
+        task_timeout=task_timeout,
+        max_task_retries=max_task_retries,
+        chaos=chaos,
+    )
+    if strict:
+        outcome.raise_on_failure()
+    return list(outcome.results)
 
 
 def build_problem(name: str):

@@ -14,8 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.experiments.harness import PROBLEMS, build_session
-from repro.utils.parallel import parallel_map
+from repro.experiments.harness import PROBLEMS, build_session, grid_map
 from repro.utils.tables import format_table
 
 __all__ = ["Table4Cell", "Table4Result", "run_table4", "PAPER_TABLE4"]
@@ -178,11 +177,15 @@ def run_table4(
     nmax: int = 100,
     budget_seconds: float | None = DEFAULT_BUDGET_SECONDS,
     n_workers: int = 1,
+    registry_path=None,
 ) -> Table4Result:
     """Run the full Table IV grid (all problems, all machine pairs).
 
     The 54 cells are independent; ``n_workers > 1`` fans them out over
-    a process pool with bit-identical results (everything is seeded).
+    supervised workers with bit-identical results (everything is
+    seeded).  With ``registry_path`` every completed cell is journaled
+    and a re-invocation resumes: cells already in the journal are
+    merged back instead of re-run (``REPRO_RESUME=0`` re-runs all).
     """
     specs = [
         (problem, source, target, seed, nmax, budget_seconds)
@@ -191,5 +194,9 @@ def run_table4(
         for source in SOURCES
         if source != target
     ]
-    cells = parallel_map(_run_cell, specs, n_workers=n_workers)
+    keys = [(p, s, t, str(sd), nm, bu) for p, s, t, sd, nm, bu in specs]
+    cells = grid_map(
+        "table4", _run_cell, specs,
+        keys=keys, n_workers=n_workers, registry_path=registry_path,
+    )
     return Table4Result(cells=tuple(cells))

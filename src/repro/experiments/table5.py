@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.experiments.harness import XEON_PHI_THREADS, build_session
+from repro.experiments.harness import XEON_PHI_THREADS, build_session, grid_map
 from repro.experiments.table4 import Table4Cell
 from repro.utils.tables import format_table
 
@@ -97,35 +97,51 @@ class Table5Result:
         return "\n\n".join(blocks) + "\n" + footer
 
 
+def _run_cell5(spec: tuple) -> Table4Cell:
+    """One Table V cell — module level so it can run in a worker."""
+    kernel, source, target, seed, nmax = spec
+    session = build_session(
+        kernel, source, target,
+        compiler="icc",
+        openmp=True,
+        threads=dict(XEON_PHI_THREADS),
+        seed=seed,
+        nmax=nmax,
+        variants=("RSb",),
+    )
+    outcome = session.run()
+    report = outcome.report("RSb")
+    paper = PAPER_TABLE5.get(kernel, {}).get(target, {}).get(source)
+    return Table4Cell(
+        kernel, source, target,
+        report.performance, report.search_time,
+        report.successful, paper,
+    )
+
+
 def run_table5(
     kernels: Sequence[str] = KERNELS5,
     seed: object = 0,
     nmax: int = 100,
+    n_workers: int = 1,
+    registry_path=None,
 ) -> Table5Result:
-    """Run the full Table V grid."""
-    cells = []
-    for kernel in kernels:
-        for target in MACHINES5:
-            for source in MACHINES5:
-                if source == target:
-                    continue
-                session = build_session(
-                    kernel, source, target,
-                    compiler="icc",
-                    openmp=True,
-                    threads=dict(XEON_PHI_THREADS),
-                    seed=seed,
-                    nmax=nmax,
-                    variants=("RSb",),
-                )
-                outcome = session.run()
-                report = outcome.report("RSb")
-                paper = PAPER_TABLE5.get(kernel, {}).get(target, {}).get(source)
-                cells.append(
-                    Table4Cell(
-                        kernel, source, target,
-                        report.performance, report.search_time,
-                        report.successful, paper,
-                    )
-                )
+    """Run the full Table V grid through the supervised executor.
+
+    The cells are independent and seeded, so ``n_workers > 1`` and
+    journal-based resume (``registry_path``) are bit-identical to the
+    serial uninterrupted run.
+    """
+    specs = [
+        (kernel, source, target, seed, nmax)
+        for kernel in kernels
+        for target in MACHINES5
+        for source in MACHINES5
+        if source != target
+    ]
+    keys = [(k, s, t, str(sd), nm) for k, s, t, sd, nm in specs]
+    cells = grid_map(
+        "table5", _run_cell5, specs,
+        keys=keys, n_workers=n_workers, registry_path=registry_path,
+    )
     return Table5Result(cells=tuple(cells))

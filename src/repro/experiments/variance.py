@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.harness import build_session
+from repro.experiments.harness import build_session, grid_map
 from repro.utils.stats import bootstrap_ci, summary
 from repro.utils.tables import format_table
 
@@ -71,6 +71,18 @@ class VarianceResult:
         return table + f"\nsuccess rate: {self.success_rate():.0%}"
 
 
+def _run_replicate(spec: tuple) -> tuple[float, float]:
+    """One seed replicate — module level so it can run in a worker."""
+    problem, source, target, variant, k, nmax, pool_size = spec
+    session = build_session(
+        problem, source, target,
+        seed=("variance", k), nmax=nmax, pool_size=pool_size,
+        variants=(variant,),
+    )
+    report = session.run().report(variant)
+    return report.performance, report.search_time
+
+
 def run_variance_study(
     problem: str = "LU",
     source: str = "westmere",
@@ -79,19 +91,25 @@ def run_variance_study(
     n_seeds: int = 5,
     nmax: int = 100,
     pool_size: int = 10_000,
+    n_workers: int = 1,
+    registry_path=None,
 ) -> VarianceResult:
-    """Replicate one transfer cell across independent seeds."""
-    performances = []
-    search_times = []
-    for k in range(n_seeds):
-        session = build_session(
-            problem, source, target,
-            seed=("variance", k), nmax=nmax, pool_size=pool_size,
-            variants=(variant,),
-        )
-        report = session.run().report(variant)
-        performances.append(report.performance)
-        search_times.append(report.search_time)
+    """Replicate one transfer cell across independent seeds.
+
+    Replicates are independent cells run through
+    :func:`~repro.experiments.harness.grid_map` — fan them out with
+    ``n_workers`` or journal them with ``registry_path`` at will.
+    """
+    specs = [
+        (problem, source, target, variant, k, nmax, pool_size)
+        for k in range(n_seeds)
+    ]
+    reports = grid_map(
+        "variance", _run_replicate, specs,
+        n_workers=n_workers, registry_path=registry_path,
+    )
+    performances = [p for p, _ in reports]
+    search_times = [s for _, s in reports]
     return VarianceResult(
         problem=problem,
         source=source,

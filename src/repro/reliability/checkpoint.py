@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import CheckpointError
@@ -183,11 +184,21 @@ class SearchCheckpoint:
         )
 
 
-def _atomic_write(path: str, payload: dict) -> None:
+def _backup_path(path: str) -> str:
+    return f"{path}.bak"
+
+
+def _atomic_write(path: str, payload: dict, keep_backup: bool = False) -> None:
+    """Write-then-rename; with ``keep_backup`` the previous file (the
+    last checkpoint that parsed well enough to be saved over) survives
+    as ``<path>.bak`` — the recovery target when the live file is later
+    found truncated or corrupt."""
     tmp = f"{path}.tmp"
     try:
         with open(tmp, "w") as fh:
             json.dump(_encode_floats(payload), fh, allow_nan=False)
+        if keep_backup and os.path.exists(path):
+            os.replace(path, _backup_path(path))
         os.replace(tmp, path)
     except OSError as exc:
         raise CheckpointError(f"could not write checkpoint {path!r}: {exc}") from exc
@@ -196,11 +207,18 @@ def _atomic_write(path: str, payload: dict) -> None:
 def _read_json(path: str) -> dict:
     try:
         with open(path) as fh:
-            return _decode_floats(json.load(fh))
+            blob = fh.read()
     except OSError as exc:
         raise CheckpointError(f"could not read checkpoint {path!r}: {exc}") from exc
+    try:
+        return _decode_floats(json.loads(blob))
     except json.JSONDecodeError as exc:
-        raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}") from exc
+        # exc.pos is a character offset; report the byte offset so the
+        # message matches what `truncate`, `dd`, and hexdumps show.
+        offset = len(blob[: exc.pos].encode("utf-8"))
+        raise CheckpointError(
+            f"corrupt checkpoint {path!r} at byte offset {offset}: {exc.msg}"
+        ) from exc
 
 
 class CheckpointManager:
@@ -227,10 +245,34 @@ class CheckpointManager:
         return os.path.exists(self.path)
 
     def load(self) -> SearchCheckpoint | None:
-        """The stored snapshot, or ``None`` when no file exists."""
+        """The stored snapshot, or ``None`` when no file exists.
+
+        A truncated or corrupt snapshot (a crash mid-save, a damaged
+        disk) raises :class:`CheckpointError` naming the path and byte
+        offset — unless the ``.bak`` of the last good checkpoint (kept
+        by every :meth:`save`) still parses, in which case the resume
+        silently falls back to it: strictly better than restarting, and
+        exact because every save point is a complete snapshot.
+        """
         if not self.exists():
             return None
-        return SearchCheckpoint.from_dict(_read_json(self.path))
+        try:
+            return SearchCheckpoint.from_dict(_read_json(self.path))
+        except CheckpointError as exc:
+            backup = _backup_path(self.path)
+            if not os.path.exists(backup):
+                raise
+            try:
+                snapshot = SearchCheckpoint.from_dict(_read_json(backup))
+            except CheckpointError:
+                raise exc from None
+            warnings.warn(
+                f"checkpoint {self.path!r} is unreadable ({exc}); "
+                f"resuming from backup {backup!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return snapshot
 
     # ------------------------------------------------------------------
     def restore(
@@ -292,7 +334,7 @@ class CheckpointManager:
             reliability=reliability,
             extra=extra or {},
         )
-        _atomic_write(self.path, snapshot.to_dict())
+        _atomic_write(self.path, snapshot.to_dict(), keep_backup=True)
         self._last_saved_position = position
 
     def maybe_save(
@@ -310,9 +352,12 @@ class CheckpointManager:
         return True
 
     def clear(self) -> None:
-        """Delete the snapshot (e.g. after a completed, consumed run)."""
+        """Delete the snapshot and its backup (a completed, consumed run)."""
         if self.exists():
             os.remove(self.path)
+        backup = _backup_path(self.path)
+        if os.path.exists(backup):
+            os.remove(backup)
         self._last_saved_position = -1
 
 

@@ -2,23 +2,30 @@
 
 Experiment grids (Table IV runs 54 independent transfer sessions) are
 embarrassingly parallel: every cell is a pure function of its seed.
-:func:`parallel_map` fans such work out over a process pool while
+:func:`parallel_map` fans such work out over worker processes while
 preserving input order and determinism — results are identical to the
 serial run, only faster.
 
-Notes for correctness:
+Since the supervised executor landed, this module is a thin shim: the
+actual process management lives in
+:class:`repro.exec.executor.SupervisedExecutor`, which detects and
+retries worker crashes and hangs instead of aborting the whole map the
+way a bare ``multiprocessing.Pool`` does.  The shim keeps the historic
+signature and semantics so existing callers (and the determinism tests
+that pin them) are untouched:
 
 * the mapped callable and its arguments must be picklable (define the
   worker at module level);
 * workers inherit no RNG state — all randomness in this library flows
   from explicit seeds, so fan-out cannot change results;
+* exceptions raised by ``func`` propagate to the caller with their
+  original type (the worker fleet is torn down cleanly first);
 * ``n_workers=1`` (or ``0``) bypasses multiprocessing entirely, which
   keeps tracebacks simple and is the safe default inside test runners.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -26,12 +33,6 @@ __all__ = ["parallel_map", "default_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-
-#: Above this many items per worker, results are streamed back with
-#: ``imap`` in larger chunks instead of one bulk ``map`` — large grids
-#: stop accumulating every pickled task up front.
-_IMAP_THRESHOLD = 64
 
 
 def default_workers(cap: int = 8) -> int:
@@ -45,7 +46,11 @@ def default_workers(cap: int = 8) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            raise ValueError(f"REPRO_WORKERS must be an integer, got {env!r}")
+            # The int() context adds nothing: the message already says
+            # exactly what was wrong and where it came from.
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
     cpus = os.cpu_count() or 1
     return max(1, min(cap, cpus - 1 if cpus > 1 else 1))
 
@@ -59,9 +64,12 @@ def parallel_map(
     """Order-preserving parallel map with a serial fallback.
 
     Results come back in input order regardless of completion order.
-    Exceptions raised by ``func`` propagate to the caller (the pool is
-    torn down cleanly first).  ``chunksize=None`` picks a chunk size
-    that balances dispatch overhead against load balance.
+    Exceptions raised by ``func`` propagate to the caller (the worker
+    fleet is torn down cleanly first).  ``chunksize=None`` picks a chunk
+    size that balances dispatch overhead against load balance.  Workers
+    that die (segfault, OOM kill) are respawned and their chunk retried
+    transparently — determinism is unaffected because every task is a
+    pure function of its arguments.
     """
     items = list(items)
     if n_workers is None:
@@ -71,13 +79,7 @@ def parallel_map(
     n_workers = min(n_workers, len(items))
     if chunksize is None:
         chunksize = max(1, len(items) // (4 * n_workers))
-    # 'fork' is used where available (Linux, this project's target): it
-    # skips re-importing the interpreter per worker and inherits the
-    # read-only experiment state cheaply.  Determinism does not depend
-    # on the start method — all randomness flows from explicit seeds —
-    # so platforms without fork fall back to 'spawn'.
-    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
-    with ctx.Pool(processes=n_workers) as pool:
-        if len(items) > _IMAP_THRESHOLD * n_workers:
-            return list(pool.imap(func, items, chunksize=chunksize))
-        return pool.map(func, items, chunksize=chunksize)
+    from repro.exec.executor import SupervisedExecutor
+
+    executor = SupervisedExecutor(n_workers=n_workers)
+    return executor.map(func, items, chunksize=chunksize, on_failure="raise")

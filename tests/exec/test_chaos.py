@@ -1,0 +1,119 @@
+"""Chaos injection: deterministic worker kills exercise supervision.
+
+``make chaos`` runs this suite (and the rest of ``tests/exec``) with
+``REPRO_CHAOS_RATE``/``REPRO_CHAOS_SEED`` exported; the recovery test
+below picks the env config up via :meth:`ChaosConfig.from_env`, so the
+same assertions hold under whatever kill pressure the target dials in.
+"""
+
+import pytest
+
+from repro.exec import CellFailure, ChaosConfig, SupervisedExecutor, run_grid
+from repro.exec.executor import CHAOS_EXITCODE
+
+
+def _square(x):
+    return x * x
+
+
+def _chaos_executor(chaos, **kwargs):
+    kwargs.setdefault("n_workers", 3)
+    kwargs.setdefault("task_timeout", None)
+    kwargs.setdefault("retry_backoff_seconds", 0.01)
+    kwargs.setdefault("poll_interval", 0.02)
+    return SupervisedExecutor(chaos=chaos, **kwargs)
+
+
+class TestChaosConfig:
+    def test_decisions_are_deterministic(self):
+        a = ChaosConfig(kill_rate=0.5, seed=7)
+        b = ChaosConfig(kill_rate=0.5, seed=7)
+        decisions = [(t, r) for t in range(20) for r in range(3)]
+        assert [a.should_kill(t, r) for t, r in decisions] == [
+            b.should_kill(t, r) for t, r in decisions
+        ]
+
+    def test_retries_draw_fresh_decisions(self):
+        chaos = ChaosConfig(kill_rate=0.5, seed=7)
+        draws = {chaos.should_kill(3, attempt) for attempt in range(32)}
+        assert draws == {True, False}  # not stuck on one verdict
+
+    def test_rate_zero_never_kills_rate_one_always(self):
+        never = ChaosConfig(kill_rate=0.0, seed=1)
+        always = ChaosConfig(kill_rate=1.0, seed=1)
+        assert not any(never.should_kill(t, 0) for t in range(50))
+        assert all(always.should_kill(t, 0) for t in range(50))
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_RATE", raising=False)
+        assert ChaosConfig.from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS_RATE", "0.25")
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "42")
+        config = ChaosConfig.from_env()
+        assert config.kill_rate == 0.25
+        assert config.seed == "42"
+
+
+class TestChaosRecovery:
+    def test_grid_survives_injected_kills_bitwise_equal_to_serial(self):
+        # Under `make chaos` the env config takes over; default pressure
+        # otherwise.  Generous retries: recovery, not attrition, is what
+        # this test measures.
+        chaos = ChaosConfig.from_env() or ChaosConfig(kill_rate=0.35, seed=2)
+        items = list(range(12))
+        results = _chaos_executor(chaos, max_task_retries=10).map(_square, items)
+        assert results == [x * x for x in items]
+
+    def test_certain_death_quarantines_with_chaos_exitcode(self):
+        chaos = ChaosConfig(kill_rate=1.0, seed=0)
+        results = _chaos_executor(chaos, max_task_retries=1, n_workers=2).map(
+            _square, [1, 2, 3], on_failure="quarantine"
+        )
+        assert all(isinstance(r, CellFailure) for r in results)
+        assert {r.kind for r in results} == {"crash"}
+        assert {r.exitcode for r in results} == {CHAOS_EXITCODE}
+        assert {r.attempts for r in results} == {2}
+
+    def test_chaotic_grid_journals_and_resumes(self, tmp_path):
+        chaos = ChaosConfig.from_env() or ChaosConfig(kill_rate=0.35, seed=3)
+        journal = tmp_path / "journal.jsonl"
+        items = list(range(10))
+        first = run_grid(
+            "chaos-grid",
+            _square,
+            items,
+            registry=journal,
+            n_workers=3,
+            task_timeout=None,
+            max_task_retries=10,
+            chaos=chaos,
+        )
+        assert first.ok and first.executed == 10
+        assert list(first.results) == [x * x for x in items]
+        second = run_grid(
+            "chaos-grid",
+            _square,
+            items,
+            registry=journal,
+            n_workers=3,
+            task_timeout=None,
+            chaos=chaos,
+        )
+        assert second.cached == 10 and second.executed == 0
+        assert list(second.results) == list(first.results)
+
+
+class TestChaosKillsAreRetriedNotRaised:
+    def test_kills_are_transparent_in_raise_mode(self):
+        chaos = ChaosConfig(kill_rate=0.35, seed=5)
+        items = list(range(8))
+        results = _chaos_executor(chaos, max_task_retries=10).map(
+            _square, items, on_failure="raise"
+        )
+        assert results == [x * x for x in items]
+
+    def test_serial_path_ignores_chaos(self):
+        # n_workers=1 runs in-process: chaos would kill the test runner.
+        chaos = ChaosConfig(kill_rate=1.0, seed=0)
+        ex = SupervisedExecutor(n_workers=1, chaos=chaos, task_timeout=None)
+        assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]

@@ -1,0 +1,55 @@
+"""Tests for canonical cell fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.exec.fingerprint import canonical, canonical_json, cell_fingerprint
+
+
+class TestCanonical:
+    def test_sorts_dict_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_tuple_and_list_collapse(self):
+        assert canonical((1, 2, "x")) == canonical([1, 2, "x"])
+
+    def test_numpy_scalars_collapse_to_python(self):
+        assert canonical(np.int64(7)) == 7
+        assert canonical(np.float64(0.5)) == 0.5
+        assert canonical(np.array([1, 2])) == [1, 2]
+
+    def test_non_finite_floats_have_explicit_spellings(self):
+        texts = {canonical_json(v) for v in (float("inf"), float("-inf"), float("nan"))}
+        assert len(texts) == 3  # all distinct, none the JSON literal
+
+    def test_unserializable_objects_are_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="cannot canonicalize"):
+            canonical(Opaque())
+
+
+class TestCellFingerprint:
+    def test_deterministic(self):
+        a = cell_fingerprint("table4", ("MM", "westmere", "sandybridge", 0))
+        b = cell_fingerprint("table4", ("MM", "westmere", "sandybridge", 0))
+        assert a == b
+        assert len(a) == 32
+        int(a, 16)  # hex
+
+    def test_sensitive_to_every_component(self):
+        base = cell_fingerprint("table4", ("MM", 0), seed=1, version="v1")
+        assert base != cell_fingerprint("table5", ("MM", 0), seed=1, version="v1")
+        assert base != cell_fingerprint("table4", ("MM", 1), seed=1, version="v1")
+        assert base != cell_fingerprint("table4", ("MM", 0), seed=2, version="v1")
+        assert base != cell_fingerprint("table4", ("MM", 0), seed=1, version="v2")
+
+    def test_env_pins_code_version(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+        a = cell_fingerprint("e", "k")
+        monkeypatch.setenv("REPRO_CODE_VERSION", "other")
+        b = cell_fingerprint("e", "k")
+        assert a != b
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+        assert cell_fingerprint("e", "k") == a

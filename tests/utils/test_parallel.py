@@ -73,3 +73,15 @@ class TestWorkerOverride:
         monkeypatch.setenv("REPRO_WORKERS", "many")
         with pytest.raises(ValueError):
             default_workers()
+
+    def test_garbage_message_names_variable_and_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(
+            ValueError, match=r"REPRO_WORKERS must be an integer, got 'many'"
+        ) as excinfo:
+            default_workers()
+        # The int() parse failure is implementation detail, not context:
+        # the re-raise uses `from None` so the traceback shows exactly
+        # one error, not "During handling ... another exception".
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.__suppress_context__
