@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench faults chaos report examples clean
+.PHONY: install test lint bench faults chaos report examples clean
 
 # Chaos knobs for `make chaos` (override on the command line).
 CHAOS_RATE ?= 0.5
@@ -17,6 +17,11 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
+
+# Import-graph discipline (no runtime cycles, no TYPE_CHECKING-hidden
+# internal imports) and a dead-code sweep over the search package.
+lint:
+	$(PYTHON) -m repro.devtools.lint
 
 # --benchmark-only deselects the plain perf-regression suite, so run
 # it explicitly; it writes benchmarks/results/BENCH_ml.json and fails

@@ -143,6 +143,26 @@ def test_search_comparison(benchmark, save_artifact):
     assert rescued >= 2
 
 
+def test_hybrid(benchmark, save_artifact, registry_dir):
+    """Regenerate the prune-then-bias hybrid ablation: RSpb (the
+    engine-composed Proposer x Gate cross) vs its parents RSp and RSb
+    across delta cutoffs, journaled by the supervised grid."""
+    from repro.experiments.ablations import run_hybrid
+
+    result = benchmark.pedantic(
+        lambda: run_hybrid(seed=0, registry_path=registry_dir / "hybrid.jsonl"),
+        rounds=1, iterations=1,
+    )
+    save_artifact("ablation_hybrid", result.render())
+    rows = {r.label: r for r in result.rows}
+    assert len(result.rows) == 9  # 3 deltas x {RSp, RSb, RSpb}
+    # Gating the biased order must not forfeit RSb's found quality.
+    for delta in (10.0, 20.0, 40.0):
+        hybrid = rows[f"RSpb (delta={delta:g}%)"]
+        parent = rows[f"RSb (delta={delta:g}%)"]
+        assert hybrid.performance >= parent.performance * 0.9
+
+
 def test_variance_study(benchmark, save_artifact):
     """Quantify the run-to-run variance behind single-run table cells."""
     from repro.experiments.variance import run_variance_study

@@ -1,0 +1,7 @@
+"""Developer tooling that guards the source tree's hygiene.
+
+``repro.devtools.lint`` (also ``make lint``) enforces the import-graph
+discipline the engine refactor established — no runtime import cycles,
+no ``TYPE_CHECKING``-hidden internal imports — and sweeps the search
+package for dead code.
+"""

@@ -21,6 +21,10 @@
   increasing rates and measure how RSb's speedups degrade with and
   without retry/backoff recovery (the paper's X-Gene failure, §V,
   generalized into an operational-hazard model).
+* :func:`run_hybrid` — the prune-then-bias hybrid RSpb (the biased
+  pool ranking gated by the pruning cutoff ∆, built via the engine's
+  :func:`~repro.search.engine.compose`) against its parents RSp and
+  RSb across ∆ values, journaled through the supervised grid.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.experiments.harness import build_session
+from repro.experiments.harness import build_session, grid_map
 from repro.kernels import get_kernel
 from repro.machines import MACHINES, get_machine, response_distance
 from repro.ml import (
@@ -63,6 +67,7 @@ __all__ = [
     "run_online",
     "run_search_comparison",
     "run_fault_ablation",
+    "run_hybrid",
 ]
 
 
@@ -439,6 +444,59 @@ def run_fault_ablation(
         name=f"fault-rate ablation ({problem}, {source} -> {target}, RSb)",
         rows=tuple(rows),
         note=note,
+    )
+
+
+def _hybrid_cell(spec: tuple) -> tuple:
+    """One hybrid-ablation cell — module level so it can run in a worker."""
+    problem, source, target, seed, nmax, delta = spec
+    session = build_session(
+        problem, source, target, seed=seed, nmax=nmax,
+        variants=("RSp", "RSb", "RSpb"),
+    )
+    session.delta_percent = delta
+    outcome = session.run()
+    rows = []
+    for variant in ("RSp", "RSb", "RSpb"):
+        rep = outcome.report(variant)
+        rows.append(
+            AblationRow(f"{variant} (delta={delta:g}%)",
+                        rep.performance, rep.search_time)
+        )
+    return tuple(rows)
+
+
+def run_hybrid(
+    deltas: Sequence[float] = (10.0, 20.0, 40.0),
+    problem: str = "LU",
+    source: str = "westmere",
+    target: str = "sandybridge",
+    seed: object = 0,
+    nmax: int = 100,
+    n_workers: int = 1,
+    registry_path=None,
+) -> AblationResult:
+    """The prune-then-bias hybrid RSpb against its parents RSp and RSb.
+
+    RSpb evaluates the surrogate's pool ranking best-first (biasing)
+    but skips any candidate predicted slower than the ∆-quantile
+    cutoff (pruning) — a new Proposer x Gate composition the shared
+    engine makes a three-line factory.  Each ∆ cell runs all three
+    variants under common random numbers; with ``registry_path`` every
+    cell is journaled by the supervised grid and a re-invocation
+    resumes instead of re-running.
+    """
+    specs = [(problem, source, target, seed, nmax, float(d)) for d in deltas]
+    keys = [(p, s, t, str(sd), nm, d) for p, s, t, sd, nm, d in specs]
+    cells = grid_map(
+        "hybrid", _hybrid_cell, specs,
+        keys=keys, n_workers=n_workers, registry_path=registry_path,
+    )
+    rows = tuple(row for cell in cells for row in cell)
+    return AblationResult(
+        name=f"prune-then-bias hybrid ({problem}, {source} -> {target})",
+        rows=rows,
+        note="RSpb = biased pool order gated by the pruning cutoff delta (CRN)",
     )
 
 

@@ -1,34 +1,37 @@
-"""Random search with the biasing strategy (Algorithm 2, RSb).
+"""Random search with the biasing strategy (Algorithm 2, RSb) — and the
+prune-then-bias hybrid (RSpb) the engine decomposition makes free.
 
-Phase 1: fit the surrogate on source data and predict the runtimes of a
-pool of ``N`` random configurations.
+RSb, phase 1: fit the surrogate on source data and predict the runtimes
+of a pool of ``N`` random configurations.
 
-Phase 2: evaluate pool configurations on the target machine in
+RSb, phase 2: evaluate pool configurations on the target machine in
 ascending order of predicted runtime (``argmin`` selection with removal,
 as in Algorithm 2), for at most ``nmax`` evaluations.
+
+RSpb additionally gates the sorted pool by RSp's quantile cutoff ``∆``:
+only the best-predicted ``δ`` fraction is evaluated, in ascending
+predicted order.  It is one :func:`~repro.search.engine.compose` call —
+the same :class:`PoolRankProposer` crossed with a
+:class:`PredictionCutoffGate` — rather than a third hand-rolled loop.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
-from repro.search.random_search import record_failure, record_measurement
+from repro.errors import SearchError
+from repro.search.engine import SearchEngine, compose
+from repro.search.gates import PredictionCutoffGate
+from repro.search.proposers import PoolRankProposer
+from repro.search.protocols import SurrogateModel
 from repro.search.result import SearchTrace
-from typing import TYPE_CHECKING
-
-if TYPE_CHECKING:  # circular at runtime: transfer imports the searches
-    from repro.transfer.surrogate import Surrogate
 from repro.searchspace.space import SearchSpace
-from repro.utils.rng import spawn_rng
 
-__all__ = ["biased_search"]
+__all__ = ["biased_search", "hybrid_search"]
 
 
 def biased_search(
     evaluator,
     space: SearchSpace,
-    surrogate: "Surrogate",
+    surrogate: SurrogateModel,
     nmax: int = 100,
     pool_size: int = 10_000,
     name: str = "RSb",
@@ -48,47 +51,58 @@ def biased_search(
         raise SearchError(f"nmax must be >= 1, got {nmax}")
     if pool_size < 10:
         raise SearchError(f"pool_size must be >= 10, got {pool_size}")
+    engine = SearchEngine(
+        evaluator,
+        PoolRankProposer(space, surrogate, pool_size=pool_size),
+        nmax=nmax,
+        name=name,
+        space=space,
+        checkpoint=checkpoint,
+    )
+    return engine.run()
 
-    trace = SearchTrace(algorithm=name)
-    clock = evaluator.clock
-    start = 0
-    if checkpoint is not None:
-        start, _ = checkpoint.restore(trace, space, evaluator=evaluator)
-    resumed = start > 0
 
-    # On a resumed run the restored clock already paid the fit/predict
-    # charges; the pool recomputation itself is deterministic.
-    try:
-        if not resumed:
-            clock.advance(surrogate.fit_seconds)
-        pool_rng = spawn_rng("rsb-pool", space.name, name)
-        pool = space.sample(pool_rng, min(pool_size, space.cardinality))
-        predictions = surrogate.predict(pool)
-        if not resumed:
-            clock.advance(surrogate.predict_seconds(len(pool)))
-    except BudgetExhaustedError:
-        trace.exhausted_budget = True
-        trace.total_elapsed = clock.now
-        return trace
+def hybrid_search(
+    evaluator,
+    space: SearchSpace,
+    surrogate: SurrogateModel,
+    nmax: int = 100,
+    pool_size: int = 10_000,
+    delta_percent: float = 20.0,
+    name: str = "RSpb",
+    checkpoint=None,
+) -> SearchTrace:
+    """Run the prune-then-bias hybrid (RSpb) for at most ``nmax``
+    evaluations.
 
-    order = np.argsort(predictions, kind="stable")
-    trace.metadata["pool_size"] = len(pool)
-    position = start
-    for rank in range(start, min(nmax, len(order))):
-        config = pool[int(order[rank])]
-        try:
-            measurement = evaluator.evaluate(config)
-        except BudgetExhaustedError:
-            trace.exhausted_budget = True
-            break
-        except EvaluationFailure as exc:
-            record_failure(trace, config, exc, clock.now)
-        else:
-            record_measurement(trace, config, measurement, clock.now)
-        position = rank + 1
-        if checkpoint is not None:
-            checkpoint.maybe_save(trace, position=position, evaluator=evaluator)
-    trace.total_elapsed = max(trace.total_elapsed, clock.now)
-    if checkpoint is not None:
-        checkpoint.save(trace, position=position, evaluator=evaluator)
-    return trace
+    The surrogate's pool ranking (RSb) is gated by the ``δ``-quantile
+    cutoff ``∆`` of its own predictions (RSp): the search exploits the
+    model's ordering but refuses to walk into the part of the pool the
+    pruning test would have rejected, so a mediocre model's long tail
+    costs skipped positions instead of evaluations.  Setup charges one
+    model fit and one pool scoring — the gate reuses the proposer's
+    predictions, so admission is free, unlike RSp's per-position query
+    charge.
+
+    Fault recording and ``checkpoint`` resume behave exactly as in
+    :func:`biased_search`; the resumed pool and cutoff are recomputed
+    deterministically.  ``trace.metadata`` carries both ``pool_size``
+    and the ``cutoff`` ``∆``.
+    """
+    if nmax < 1:
+        raise SearchError(f"nmax must be >= 1, got {nmax}")
+    if pool_size < 10:
+        raise SearchError(f"pool_size must be >= 10, got {pool_size}")
+    if not 0.0 < delta_percent < 100.0:
+        raise SearchError(f"delta_percent must be in (0, 100), got {delta_percent}")
+    proposer = PoolRankProposer(space, surrogate, pool_size=pool_size)
+    engine = compose(
+        evaluator,
+        proposer,
+        PredictionCutoffGate(proposer, delta_percent=delta_percent),
+        nmax=nmax,
+        name=name,
+        space=space,
+        checkpoint=checkpoint,
+    )
+    return engine.run()

@@ -10,17 +10,24 @@ evaluate on the source:
   skipping configurations whose *source* runtime is above the cutoff.
 * **RSbf** — sorts the source configurations by source runtime and
   evaluates them in that order.
+
+Composition: a :class:`ReplayProposer` (source order / sorted) crossed
+with a :class:`ReplayThresholdGate` (RSpf) or nothing (RSbf).  Both
+variants gained ``checkpoint`` resume with the engine rewrite — the
+replayed position is the only proposer state, so a resumed run
+continues at the exact source-trace entry it stopped at.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
-from repro.search.random_search import record_failure, record_measurement
+from repro.errors import SearchError
+from repro.search.engine import SearchEngine
+from repro.search.gates import ReplayThresholdGate
+from repro.search.proposers import ReplayProposer
 from repro.search.result import SearchTrace
 from repro.searchspace.space import Configuration
-from repro.utils.stats import quantile
 
 __all__ = ["model_free_pruned_search", "model_free_biased_search"]
 
@@ -36,35 +43,24 @@ def model_free_pruned_search(
     nmax: int = 100,
     delta_percent: float = 20.0,
     name: str = "RSpf",
+    checkpoint=None,
 ) -> SearchTrace:
     """RSpf: threshold replay of the source machine's evaluations."""
     _check_training(training)
     if not 0.0 < delta_percent < 100.0:
         raise SearchError(f"delta_percent must be in (0, 100), got {delta_percent}")
-    cutoff = quantile([y for _, y in training], delta_percent / 100.0)
-    trace = SearchTrace(algorithm=name)
-    trace.metadata["cutoff"] = cutoff
-    skipped = 0
-    for config, source_runtime in training:
-        if trace.n_evaluations >= nmax:
-            break
-        if source_runtime >= cutoff:
-            skipped += 1
-            continue
-        try:
-            measurement = evaluator.evaluate(config)
-        except BudgetExhaustedError:
-            trace.exhausted_budget = True
-            break
-        except EvaluationFailure as exc:
-            record_failure(trace, config, exc, evaluator.clock.now,
-                           skipped_before=skipped)
-        else:
-            record_measurement(trace, config, measurement, evaluator.clock.now,
-                               skipped_before=skipped)
-        skipped = 0
-    trace.total_elapsed = max(trace.total_elapsed, evaluator.clock.now)
-    return trace
+    engine = SearchEngine(
+        evaluator,
+        ReplayProposer(training),
+        ReplayThresholdGate(
+            [y for _, y in training], delta_percent=delta_percent
+        ),
+        nmax=nmax,
+        name=name,
+        space=training[0][0].space,
+        checkpoint=checkpoint,
+    )
+    return engine.run()
 
 
 def model_free_biased_search(
@@ -72,21 +68,16 @@ def model_free_biased_search(
     training: Sequence[tuple[Configuration, float]],
     nmax: int = 100,
     name: str = "RSbf",
+    checkpoint=None,
 ) -> SearchTrace:
     """RSbf: sorted replay of the source machine's evaluations."""
     _check_training(training)
-    trace = SearchTrace(algorithm=name)
-    for config, _ in sorted(training, key=lambda pair: pair[1]):
-        if trace.n_evaluations >= nmax:
-            break
-        try:
-            measurement = evaluator.evaluate(config)
-        except BudgetExhaustedError:
-            trace.exhausted_budget = True
-            break
-        except EvaluationFailure as exc:
-            record_failure(trace, config, exc, evaluator.clock.now)
-        else:
-            record_measurement(trace, config, measurement, evaluator.clock.now)
-    trace.total_elapsed = max(trace.total_elapsed, evaluator.clock.now)
-    return trace
+    engine = SearchEngine(
+        evaluator,
+        ReplayProposer(training, sort=True),
+        nmax=nmax,
+        name=name,
+        space=training[0][0].space,
+        checkpoint=checkpoint,
+    )
+    return engine.run()

@@ -1,0 +1,332 @@
+"""Candidate sources for the :class:`~repro.search.engine.SearchEngine`.
+
+Each proposer walks one kind of candidate source and yields
+:class:`~repro.search.protocols.Proposal`\\ s to the engine:
+
+* :class:`StreamProposer` — the shared random stream, in order (RS;
+  with a surrogate attached it also carries per-position predictions
+  for RSp's quantile gate, prefetched in vectorized chunks);
+* :class:`PoolRankProposer` — a surrogate-scored pool in ascending
+  order of predicted runtime (RSb, and the gated hybrid RSpb);
+* :class:`ReplayProposer` — the source machine's evaluated
+  configurations, in source order or sorted by source runtime
+  (RSpf / RSbf);
+* :class:`SMBOProposer` — an initial design followed by
+  acquisition-maximizing candidates from a surrogate refit on the
+  target observations (SMBO, optionally transfer-seeded).
+
+The manipulator-technique adapter (GA, annealing, PSO, the AUC bandit,
+...) lives in :mod:`repro.tuner.adapter` — the tuner layer imports the
+search layer, never the reverse.
+
+Simulated model costs are charged exactly where the pre-engine loops
+charged them; the golden-trace suite holds every proposer to
+bit-identical behavior.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+from repro.search.protocols import (
+    EngineContext,
+    Proposal,
+    SurrogateModel,
+)
+from repro.search.stream import SharedStream
+from repro.searchspace.encoding import encode_cached
+from repro.searchspace.space import Configuration, SearchSpace
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "BaseProposer",
+    "StreamProposer",
+    "PoolRankProposer",
+    "ReplayProposer",
+    "SMBOProposer",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _normal_cdf(z: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.vectorize(math.erf)(z / _SQRT2))
+
+
+def _normal_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+
+
+def _expected_improvement(mu: np.ndarray, sigma: np.ndarray, best: float) -> np.ndarray:
+    """EI for minimization in log space."""
+    sigma = np.maximum(sigma, 1e-9)
+    z = (best - mu) / sigma
+    return (best - mu) * _normal_cdf(z) + sigma * _normal_pdf(z)
+
+
+class BaseProposer:
+    """No-op lifecycle defaults; subclasses override what they need."""
+
+    def restore(self, position: int, ctx: EngineContext) -> None:
+        pass
+
+    def setup(self, ctx: EngineContext) -> None:
+        pass
+
+    def observe(self, ctx: EngineContext, proposal: Proposal, runtime: float,
+                failed: bool, censored: bool) -> None:
+        pass
+
+    def state(self) -> dict:
+        return {}
+
+    def budget_break_skips_sync(self) -> bool:
+        return False
+
+
+class StreamProposer(BaseProposer):
+    """Walk a :class:`~repro.search.stream.SharedStream` in order.
+
+    Without a surrogate this is RS's candidate source.  With one, each
+    proposal carries the surrogate's runtime prediction for its stream
+    position (RSp): predictions for the next ``prefetch`` positions are
+    computed in one vectorized call, while the *clock* is still charged
+    one query at a time by the gate — per-row predictions are
+    independent, so traces are bit-identical for every ``prefetch``.
+    """
+
+    def __init__(
+        self,
+        stream: SharedStream,
+        surrogate: SurrogateModel | None = None,
+        prefetch: int = 256,
+        position_cap: int | None = None,
+    ) -> None:
+        self.stream = stream
+        self.surrogate = surrogate
+        self.prefetch = prefetch
+        self.position_cap = position_cap
+        self._position = 0
+        self._buffered = np.empty(0)
+        self._buf_start = 0
+
+    def restore(self, position: int, ctx: EngineContext) -> None:
+        self._position = position
+        self._buffered = np.empty(0)
+        self._buf_start = position
+
+    def propose(self, ctx: EngineContext) -> Proposal | None:
+        position = self._position
+        if self.surrogate is None:
+            config = self.stream[position]
+            self._position += 1
+            return Proposal(config)
+        if position - self._buf_start >= len(self._buffered):
+            chunk = self.prefetch
+            if self.position_cap is not None:
+                chunk = min(chunk, self.position_cap - position)
+            self._buffered = self.surrogate.predict(
+                [self.stream[position + i] for i in range(chunk)]
+            )
+            self._buf_start = position
+        predicted = float(self._buffered[position - self._buf_start])
+        config = self.stream[position]
+        self._position += 1
+        return Proposal(config, predicted)
+
+
+class PoolRankProposer(BaseProposer):
+    """A surrogate-scored pool, proposed in ascending predicted runtime.
+
+    RSb's candidate source (Algorithm 2's argmin-with-removal is
+    equivalent to a stable presort).  Setup charges the model fit and
+    the pool-scoring time; a resumed run's restored clock already paid,
+    and the pool redraws deterministically from its stateless RNG key.
+    Proposals carry their prediction so a cutoff gate (the RSpb hybrid)
+    can prune the tail of the ranking without extra model queries.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        surrogate: SurrogateModel,
+        pool_size: int = 10_000,
+        rng_label: str = "rsb-pool",
+    ) -> None:
+        self.space = space
+        self.surrogate = surrogate
+        self.pool_size = pool_size
+        self.rng_label = rng_label
+        self.pool: list[Configuration] = []
+        self.predictions: np.ndarray = np.empty(0)
+        self._order: np.ndarray = np.empty(0, dtype=int)
+        self._rank = 0
+
+    def restore(self, position: int, ctx: EngineContext) -> None:
+        self._rank = position
+
+    def setup(self, ctx: EngineContext) -> None:
+        clock = ctx.clock
+        if not ctx.resumed:
+            clock.advance(self.surrogate.fit_seconds)
+        pool_rng = spawn_rng(self.rng_label, self.space.name, ctx.name)
+        pool = self.space.sample(pool_rng, min(self.pool_size, self.space.cardinality))
+        predictions = self.surrogate.predict(pool)
+        if not ctx.resumed:
+            clock.advance(self.surrogate.predict_seconds(len(pool)))
+        self.pool = pool
+        self.predictions = predictions
+        self._order = np.argsort(predictions, kind="stable")
+        ctx.trace.metadata["pool_size"] = len(pool)
+
+    def propose(self, ctx: EngineContext) -> Proposal | None:
+        if self._rank >= len(self._order):
+            return None
+        idx = int(self._order[self._rank])
+        self._rank += 1
+        return Proposal(self.pool[idx], float(self.predictions[idx]))
+
+
+class ReplayProposer(BaseProposer):
+    """Replay the source machine's evaluated configurations (Ta).
+
+    The model-free controls' candidate source: source order for RSpf
+    (whose gate thresholds on the carried *source* runtime), ascending
+    source runtime for RSbf.  Restricted to what the source already
+    evaluated — which is exactly why the paper sees no performance
+    speedups from these variants.
+    """
+
+    def __init__(
+        self,
+        training: Sequence[tuple[Configuration, float]],
+        sort: bool = False,
+    ) -> None:
+        pairs = list(training)
+        if sort:
+            pairs = sorted(pairs, key=lambda pair: pair[1])
+        self.pairs = pairs
+        self._index = 0
+
+    def restore(self, position: int, ctx: EngineContext) -> None:
+        self._index = position
+
+    def propose(self, ctx: EngineContext) -> Proposal | None:
+        if self._index >= len(self.pairs):
+            return None
+        config, source_runtime = self.pairs[self._index]
+        self._index += 1
+        return Proposal(config, source_runtime)
+
+
+class SMBOProposer(BaseProposer):
+    """Sequential model-based optimization's candidate source.
+
+    Setup builds the initial design — the source surrogate's best pool
+    picks when transfer-seeded, a random design otherwise.  Once the
+    design is consumed, each proposal refits a random forest on the
+    target observations (every ``refit_every`` evaluations, optionally
+    blending median-rescaled source observations), scores a fresh
+    candidate pool with the acquisition function, and proposes the
+    argmax.  Refit and scoring costs are charged *in propose*, outside
+    the engine's budget guard: a budget wall mid-refit propagates to the
+    caller, exactly as the pre-engine loop behaved.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        rng,
+        *,
+        n_initial: int,
+        pool_size: int,
+        acquisition: str,
+        kappa: float,
+        source_surrogate: SurrogateModel | None = None,
+        source_data: Sequence[tuple[Configuration, float]] | None = None,
+        refit_every: int = 1,
+    ) -> None:
+        self.space = space
+        self.rng = rng
+        self.n_initial = n_initial
+        self.pool_size = pool_size
+        self.acquisition = acquisition
+        self.kappa = kappa
+        self.source_surrogate = source_surrogate
+        self.source_data = source_data
+        self.refit_every = refit_every
+        self._design: list[Configuration] = []
+        self._observations: list[tuple[Configuration, float]] = []
+        self._evaluated: set[int] = set()
+        self._model: RandomForestRegressor | None = None
+        self._since_fit = refit_every
+        self._last_was_design = False
+
+    def setup(self, ctx: EngineContext) -> None:
+        clock = ctx.clock
+        if self.source_surrogate is not None:
+            clock.advance(self.source_surrogate.fit_seconds)
+            pool = self.space.sample(
+                self.rng, min(self.pool_size, self.space.cardinality)
+            )
+            preds = self.source_surrogate.predict(pool)
+            clock.advance(self.source_surrogate.predict_seconds(len(pool)))
+            design = [pool[int(i)] for i in np.argsort(preds)[: self.n_initial]]
+        else:
+            design = self.space.sample(
+                self.rng, min(self.n_initial, self.space.cardinality)
+            )
+        self._design = list(design)
+        self._since_fit = self.refit_every  # force a first fit
+
+    def propose(self, ctx: EngineContext) -> Proposal | None:
+        if self._design:
+            self._last_was_design = True
+            return Proposal(self._design.pop(0))
+        self._last_was_design = False
+        clock = ctx.clock
+        if self._since_fit >= self.refit_every or self._model is None:
+            self._since_fit = 0
+            training = list(self._observations)
+            if self.source_data:
+                src_med = float(np.median([y for _, y in self.source_data]))
+                tgt_med = float(np.median([y for _, y in self._observations]))
+                scale = tgt_med / src_med if src_med > 0 else 1.0
+                training += [(c, y * scale) for c, y in self.source_data]
+            X = encode_cached(self.space, [c for c, _ in training])
+            y = np.log([v for _, v in training])
+            self._model = RandomForestRegressor(
+                n_estimators=48, min_samples_leaf=2, seed=7
+            )
+            self._model.fit(X, y)
+            clock.advance(0.5 + 2e-3 * len(training))  # simulated fit cost
+        candidates = self.space.sample(
+            self.rng, min(self.pool_size, self.space.cardinality)
+        )
+        candidates = [c for c in candidates if c.index not in self._evaluated]
+        if not candidates:
+            return None
+        Xc = encode_cached(self.space, candidates)
+        mu = self._model.predict(Xc)
+        clock.advance(2e-4 * len(candidates))
+        if self.acquisition == "mean":
+            scores = -mu
+        else:
+            sigma = self._model.predict_std(Xc)
+            if self.acquisition == "lcb":
+                scores = -(mu - self.kappa * sigma)
+            else:
+                best = math.log(min(v for _, v in self._observations))
+                scores = _expected_improvement(mu, sigma, best)
+        return Proposal(candidates[int(np.argmax(scores))])
+
+    def observe(self, ctx: EngineContext, proposal: Proposal, runtime: float,
+                failed: bool, censored: bool) -> None:
+        self._evaluated.add(proposal.config.index)
+        self._observations.append((proposal.config, runtime))
+        if not self._last_was_design:
+            self._since_fit += 1

@@ -7,22 +7,21 @@ configurations, predict their runtimes, and set the cutoff ``∆`` to the
 Phase 2: walk the (shared) random stream; predict each configuration's
 runtime; evaluate it on the target only when the prediction is below
 ``∆``.  Model fitting/prediction time is charged to the search clock.
+
+Composition: a surrogate-carrying :class:`StreamProposer` crossed with
+a :class:`QuantileGate` under the shared
+:class:`~repro.search.engine.SearchEngine` accounting.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
-from repro.search.random_search import record_failure, record_measurement
+from repro.errors import SearchError
+from repro.search.engine import SearchEngine
+from repro.search.gates import QuantileGate
+from repro.search.proposers import StreamProposer
+from repro.search.protocols import SurrogateModel
 from repro.search.result import SearchTrace
 from repro.search.stream import SharedStream
-from typing import TYPE_CHECKING
-
-if TYPE_CHECKING:  # circular at runtime: transfer imports the searches
-    from repro.transfer.surrogate import Surrogate
-from repro.utils.rng import spawn_rng
-from repro.utils.stats import quantile
 
 __all__ = ["pruned_search"]
 
@@ -30,7 +29,7 @@ __all__ = ["pruned_search"]
 def pruned_search(
     evaluator,
     stream: SharedStream,
-    surrogate: "Surrogate",
+    surrogate: SurrogateModel,
     nmax: int = 100,
     pool_size: int = 10_000,
     delta_percent: float = 20.0,
@@ -73,71 +72,27 @@ def pruned_search(
         max_stream_positions = 50 * nmax
 
     space = stream.space
-    trace = SearchTrace(algorithm=name)
-    clock = evaluator.clock
-    position = 0
-    skipped = 0
-    if checkpoint is not None:
-        position, extra = checkpoint.restore(
-            trace, space, evaluator=evaluator, stream=stream
-        )
-        skipped = int(extra.get("skipped", 0))
-    resumed = position > 0
-
-    # Phase 1: cutoff from the δ% quantile of pool predictions.  On a
-    # resumed run the restored clock already paid for fit/predict, so
-    # the (deterministic) recomputation charges nothing.
-    try:
-        if not resumed:
-            clock.advance(surrogate.fit_seconds)
-        pool_rng = spawn_rng("rsp-pool", space.name, name)
-        pool = space.sample(pool_rng, min(pool_size, space.cardinality))
-        predictions = surrogate.predict(pool)
-        if not resumed:
-            clock.advance(surrogate.predict_seconds(len(pool)))
-    except BudgetExhaustedError:
-        trace.exhausted_budget = True
-        trace.total_elapsed = clock.now
-        return trace
-    cutoff = quantile(predictions, delta_percent / 100.0)
-    trace.metadata["cutoff"] = cutoff
-
-    # Phase 2: walk the shared stream, evaluating only promising configs.
-    # Model queries are prefetched in vectorized chunks; the clock is
-    # still charged one prediction at a time, in stream order.
-    buffered = np.empty(0)
-    buf_start = position
-    while trace.n_evaluations < nmax and position < max_stream_positions:
-        if position - buf_start >= len(buffered):
-            chunk = min(prefetch, max_stream_positions - position)
-            buffered = surrogate.predict(
-                [stream[position + i] for i in range(chunk)]
-            )
-            buf_start = position
-        predicted = float(buffered[position - buf_start])
-        config = stream[position]
-        position += 1
-        try:
-            clock.advance(surrogate.predict_seconds(1))
-            if predicted >= cutoff:
-                skipped += 1
-                continue
-            measurement = evaluator.evaluate(config)
-        except BudgetExhaustedError:
-            trace.exhausted_budget = True
-            break
-        except EvaluationFailure as exc:
-            record_failure(trace, config, exc, clock.now, skipped_before=skipped)
-        else:
-            record_measurement(trace, config, measurement, clock.now,
-                               skipped_before=skipped)
-        skipped = 0
-        if checkpoint is not None:
-            checkpoint.maybe_save(trace, position=position, evaluator=evaluator,
-                                  extra={"skipped": skipped})
-    trace.metadata["stream_positions"] = position
-    trace.total_elapsed = max(trace.total_elapsed, clock.now)
-    if checkpoint is not None:
-        checkpoint.save(trace, position=position, evaluator=evaluator,
-                        extra={"skipped": skipped})
-    return trace
+    engine = SearchEngine(
+        evaluator,
+        StreamProposer(
+            stream,
+            surrogate=surrogate,
+            prefetch=prefetch,
+            position_cap=max_stream_positions,
+        ),
+        QuantileGate(
+            space, surrogate, delta_percent=delta_percent, pool_size=pool_size
+        ),
+        nmax=nmax,
+        name=name,
+        space=space,
+        stream=stream,
+        position_cap=max_stream_positions,
+        # A budget wall during the gate's model query historically
+        # advanced past the in-flight position rather than handing it
+        # back for a resume to retry.
+        rewind_position_on_budget_break=False,
+        stream_positions_metadata=True,
+        checkpoint=checkpoint,
+    )
+    return engine.run()

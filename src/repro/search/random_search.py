@@ -8,55 +8,14 @@ reached or the simulated time budget runs out.
 
 from __future__ import annotations
 
-from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
-from repro.search.result import EvaluationRecord, SearchTrace
+from repro.search.engine import SearchEngine, record_failure, record_measurement
+from repro.search.proposers import StreamProposer
+from repro.search.result import SearchTrace
 from repro.search.stream import SharedStream
 
+# record_measurement / record_failure live in the engine (their only
+# caller); re-exported here for backward compatibility.
 __all__ = ["random_search", "record_measurement", "record_failure"]
-
-
-def record_measurement(trace: SearchTrace, config, measurement, elapsed: float,
-                       skipped_before: int = 0) -> None:
-    """Append one evaluation outcome — successful or degraded — to a trace.
-
-    A measurement exposing ``failed=True`` (e.g. a
-    :class:`repro.reliability.resilient.FailedMeasurement`) is recorded
-    distinctly from successes; it occupies its position in the shared
-    stream so common-random-numbers comparisons stay aligned, but the
-    trace never counts it as a best result.
-    """
-    trace.add(
-        EvaluationRecord(
-            config=config,
-            runtime=measurement.runtime_seconds,
-            elapsed=elapsed,
-            skipped_before=skipped_before,
-            failed=bool(getattr(measurement, "failed", False)),
-            censored=bool(getattr(measurement, "censored", False)),
-        )
-    )
-
-
-def record_failure(trace: SearchTrace, config, exc: EvaluationFailure,
-                   elapsed: float, skipped_before: int = 0) -> None:
-    """Record an unhandled evaluation failure as a failed trace entry.
-
-    Used when the evaluator is not wrapped in a
-    :class:`~repro.reliability.resilient.ResilientEvaluator`: the
-    search itself censors the configuration (a timeout's cap when
-    available, ``inf`` otherwise) instead of crashing.
-    """
-    censored_at = getattr(exc, "censored_at", None)
-    trace.add(
-        EvaluationRecord(
-            config=config,
-            runtime=float("inf") if censored_at is None else float(censored_at),
-            elapsed=elapsed,
-            skipped_before=skipped_before,
-            failed=True,
-            censored=censored_at is not None,
-        )
-    )
 
 
 def random_search(
@@ -86,30 +45,14 @@ def random_search(
     :class:`~repro.reliability.checkpoint.CheckpointManager`; when its
     file exists the search resumes from it instead of starting over.
     """
-    if nmax < 1:
-        raise SearchError(f"nmax must be >= 1, got {nmax}")
-    trace = SearchTrace(algorithm=name)
-    start = 0
-    if checkpoint is not None:
-        start, _ = checkpoint.restore(
-            trace, stream.space, evaluator=evaluator, stream=stream
-        )
-    position = start
-    for k in range(start, nmax):
-        config = stream[k]
-        try:
-            measurement = evaluator.evaluate(config)
-        except BudgetExhaustedError:
-            trace.exhausted_budget = True
-            break
-        except EvaluationFailure as exc:
-            record_failure(trace, config, exc, evaluator.clock.now)
-        else:
-            record_measurement(trace, config, measurement, evaluator.clock.now)
-        position = k + 1
-        if checkpoint is not None:
-            checkpoint.maybe_save(trace, position=position, evaluator=evaluator)
-    trace.total_elapsed = max(trace.total_elapsed, evaluator.clock.now)
-    if checkpoint is not None:
-        checkpoint.save(trace, position=position, evaluator=evaluator)
-    return trace
+    engine = SearchEngine(
+        evaluator,
+        StreamProposer(stream),
+        nmax=nmax,
+        name=name,
+        space=stream.space,
+        stream=stream,
+        position_cap=nmax,
+        checkpoint=checkpoint,
+    )
+    return engine.run()

@@ -11,23 +11,24 @@ technique continues the search on the target machine.
 
 With ``seed_evaluations=0`` the function runs the plain (cold) technique
 under the same accounting, so warm/cold comparisons are exact.
+
+Composition: a :class:`~repro.tuner.adapter.TechniqueProposer` with a
+seed phase, ungated, under the shared engine accounting (evaluation
+failures propagate rather than being recorded — the technique runs
+predate failure-aware traces and keep their historical contract).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.errors import BudgetExhaustedError, SearchError
-from repro.search.result import EvaluationRecord, SearchTrace
+from repro.errors import SearchError
+from repro.search.engine import SearchEngine
+from repro.search.protocols import SurrogateModel
+from repro.search.result import SearchTrace
 from repro.searchspace.space import SearchSpace
-from repro.tuner.database import Result, ResultsDatabase
+from repro.tuner.adapter import TechniqueProposer
+from repro.tuner.database import ResultsDatabase
 from repro.tuner.manipulator import ConfigurationManipulator
 from repro.tuner.technique import SearchTechnique
-from repro.utils.rng import spawn_rng
-from typing import TYPE_CHECKING
-
-if TYPE_CHECKING:  # circular at runtime: transfer imports the searches
-    from repro.transfer.surrogate import Surrogate
 
 __all__ = ["warm_started_search"]
 
@@ -36,7 +37,7 @@ def warm_started_search(
     evaluator,
     space: SearchSpace,
     technique: SearchTechnique,
-    surrogate: "Surrogate | None" = None,
+    surrogate: SurrogateModel | None = None,
     nmax: int = 100,
     pool_size: int = 10_000,
     seed_evaluations: int = 10,
@@ -58,61 +59,24 @@ def warm_started_search(
     label = name or (
         f"{technique.name}+warm" if seed_evaluations else technique.name
     )
-    trace = SearchTrace(algorithm=label)
-    clock = evaluator.clock
     database = ResultsDatabase()
-    manipulator = ConfigurationManipulator(space)
-    technique.bind(manipulator, database)
-
-    def run_one(config) -> bool:
-        """Evaluate, record, feed back. Returns False on budget end."""
-        cached = database.lookup(config)
-        if cached is not None:
-            technique.feedback(config, cached.value)
-            return True
-        try:
-            measurement = evaluator.evaluate(config)
-        except BudgetExhaustedError:
-            trace.exhausted_budget = True
-            return False
-        value = measurement.runtime_seconds
-        database.add(
-            Result(config, value, label, elapsed=clock.now,
-                   iteration=trace.n_evaluations)
-        )
-        technique.feedback(config, value)
-        trace.add(EvaluationRecord(config=config, runtime=value, elapsed=clock.now))
-        return True
-
-    # Phase 1: surrogate-chosen seeds.
-    if seed_evaluations > 0:
-        assert surrogate is not None
-        try:
-            clock.advance(surrogate.fit_seconds)
-            rng = spawn_rng("warm-start-pool", space.name, label)
-            pool = space.sample(rng, min(pool_size, space.cardinality))
-            predictions = surrogate.predict(pool)
-            clock.advance(surrogate.predict_seconds(len(pool)))
-        except BudgetExhaustedError:
-            trace.exhausted_budget = True
-            return trace
-        order = np.argsort(predictions, kind="stable")
-        for pool_idx in order[: min(seed_evaluations, nmax)]:
-            if not run_one(pool[int(pool_idx)]):
-                return trace
-
-    # Phase 2: the technique drives.
-    stall = 0
-    while trace.n_evaluations < nmax:
-        config = technique.propose()
-        if database.lookup(config) is not None:
-            technique.feedback(config, database.lookup(config).value)
-            stall += 1
-            if stall > 50 * nmax:
-                break
-            continue
-        stall = 0
-        if not run_one(config):
-            break
-    trace.total_elapsed = max(trace.total_elapsed, clock.now)
-    return trace
+    technique.bind(ConfigurationManipulator(space), database)
+    engine = SearchEngine(
+        evaluator,
+        TechniqueProposer(
+            technique,
+            database,
+            space,
+            result_label=label,
+            iteration_mode="trace",
+            surrogate=surrogate,
+            pool_size=pool_size,
+            seed_evaluations=seed_evaluations,
+        ),
+        nmax=nmax,
+        name=label,
+        space=space,
+        failure_mode="raise",
+        setup_abort_elapsed=False,
+    )
+    return engine.run()

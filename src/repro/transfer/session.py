@@ -23,7 +23,7 @@ from repro.machines.spec import MachineSpec
 from repro.ml.base import Regressor
 from repro.orio.evaluator import OrioEvaluator
 from repro.perf.simclock import SimClock
-from repro.search.biasing import biased_search
+from repro.search.biasing import biased_search, hybrid_search
 from repro.search.model_free import model_free_biased_search, model_free_pruned_search
 from repro.search.pruning import pruned_search
 from repro.search.random_search import random_search
@@ -94,6 +94,11 @@ class TransferSession:
     ``pool_size=10000``, ``delta_percent=20``.  ``seed`` controls the
     common-random-numbers stream; ``budget_seconds`` optionally bounds
     each search's simulated time (X-Gene style failures).
+
+    Beyond the paper's four variants, ``variants`` also accepts
+    ``"RSpb"`` — the prune-then-bias hybrid
+    (:func:`~repro.search.biasing.hybrid_search`), which evaluates the
+    biased pool ranking gated by the pruning cutoff ``∆``.
     """
 
     def __init__(
@@ -224,6 +229,14 @@ class TransferSession:
                 surrogate,
                 nmax=self.nmax,
                 pool_size=self.pool_size,
+            ),
+            "RSpb": lambda: hybrid_search(
+                self._evaluator(self.target),
+                self.kernel.space,
+                surrogate,
+                nmax=self.nmax,
+                pool_size=self.pool_size,
+                delta_percent=self.delta_percent,
             ),
             "RSpf": lambda: model_free_pruned_search(
                 self._evaluator(self.target), training, nmax=self.nmax,

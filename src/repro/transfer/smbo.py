@@ -17,41 +17,25 @@ confidence bound ``mu - kappa * sigma``), or ``"mean"`` (pure
 exploitation).  Transfer seeding turns this into the natural marriage
 of the paper's idea with model-based search: the source model buys a
 good initial design, after which the target model takes over.
+
+Composition: an :class:`~repro.search.proposers.SMBOProposer` (which
+owns the design, the refits, and the acquisition scoring), ungated,
+under the shared :class:`~repro.search.engine.SearchEngine` accounting.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
-import numpy as np
-
-from repro.errors import BudgetExhaustedError, SearchError
-from repro.ml.forest import RandomForestRegressor
-from repro.search.result import EvaluationRecord, SearchTrace
-from repro.searchspace.encoding import encode_cached
+from repro.errors import SearchError
+from repro.search.engine import SearchEngine
+from repro.search.proposers import SMBOProposer
+from repro.search.protocols import SurrogateModel
+from repro.search.result import SearchTrace
 from repro.searchspace.space import Configuration, SearchSpace
-from repro.transfer.surrogate import Surrogate
 from repro.utils.rng import spawn_rng
 
 __all__ = ["smbo_search"]
-
-_SQRT2 = math.sqrt(2.0)
-
-
-def _normal_cdf(z: np.ndarray) -> np.ndarray:
-    return 0.5 * (1.0 + np.vectorize(math.erf)(z / _SQRT2))
-
-
-def _normal_pdf(z: np.ndarray) -> np.ndarray:
-    return np.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
-
-
-def _expected_improvement(mu: np.ndarray, sigma: np.ndarray, best: float) -> np.ndarray:
-    """EI for minimization in log space."""
-    sigma = np.maximum(sigma, 1e-9)
-    z = (best - mu) / sigma
-    return (best - mu) * _normal_cdf(z) + sigma * _normal_pdf(z)
 
 
 def smbo_search(
@@ -62,7 +46,7 @@ def smbo_search(
     pool_size: int = 2_000,
     acquisition: str = "ei",
     kappa: float = 1.5,
-    source_surrogate: Surrogate | None = None,
+    source_surrogate: SurrogateModel | None = None,
     source_data: Sequence[tuple[Configuration, float]] | None = None,
     refit_every: int = 1,
     seed: object = 0,
@@ -88,81 +72,23 @@ def smbo_search(
         f"SMBO-{acquisition}+transfer" if source_surrogate or source_data
         else f"SMBO-{acquisition}"
     )
-    rng = spawn_rng("smbo", space.name, label, str(seed))
-    clock = evaluator.clock
-    trace = SearchTrace(algorithm=label)
-    observations: list[tuple[Configuration, float]] = []
-    evaluated: set[int] = set()
-
-    def evaluate(config: Configuration) -> bool:
-        try:
-            measurement = evaluator.evaluate(config)
-        except BudgetExhaustedError:
-            trace.exhausted_budget = True
-            return False
-        evaluated.add(config.index)
-        observations.append((config, measurement.runtime_seconds))
-        trace.add(
-            EvaluationRecord(
-                config=config, runtime=measurement.runtime_seconds, elapsed=clock.now
-            )
-        )
-        return True
-
-    # ---- initial design ---------------------------------------------------
-    if source_surrogate is not None:
-        try:
-            clock.advance(source_surrogate.fit_seconds)
-            pool = space.sample(rng, min(pool_size, space.cardinality))
-            preds = source_surrogate.predict(pool)
-            clock.advance(source_surrogate.predict_seconds(len(pool)))
-        except BudgetExhaustedError:
-            trace.exhausted_budget = True
-            return trace
-        design = [pool[int(i)] for i in np.argsort(preds)[:n_initial]]
-    else:
-        design = space.sample(rng, min(n_initial, space.cardinality))
-    for config in design:
-        if trace.n_evaluations >= nmax or not evaluate(config):
-            trace.total_elapsed = max(trace.total_elapsed, clock.now)
-            return trace
-
-    # ---- SMBO loop -----------------------------------------------------------
-    model: RandomForestRegressor | None = None
-    since_fit = refit_every  # force a first fit
-    while trace.n_evaluations < nmax:
-        if since_fit >= refit_every or model is None:
-            since_fit = 0
-            training = list(observations)
-            if source_data:
-                src_med = float(np.median([y for _, y in source_data]))
-                tgt_med = float(np.median([y for _, y in observations]))
-                scale = tgt_med / src_med if src_med > 0 else 1.0
-                training += [(c, y * scale) for c, y in source_data]
-            X = encode_cached(space, [c for c, _ in training])
-            y = np.log([v for _, v in training])
-            model = RandomForestRegressor(n_estimators=48, min_samples_leaf=2, seed=7)
-            model.fit(X, y)
-            clock.advance(0.5 + 2e-3 * len(training))  # simulated fit cost
-        candidates = space.sample(rng, min(pool_size, space.cardinality))
-        candidates = [c for c in candidates if c.index not in evaluated]
-        if not candidates:
-            break
-        Xc = encode_cached(space, candidates)
-        mu = model.predict(Xc)
-        clock.advance(2e-4 * len(candidates))
-        if acquisition == "mean":
-            scores = -mu
-        else:
-            sigma = model.predict_std(Xc)
-            if acquisition == "lcb":
-                scores = -(mu - kappa * sigma)
-            else:
-                best = math.log(min(v for _, v in observations))
-                scores = _expected_improvement(mu, sigma, best)
-        chosen = candidates[int(np.argmax(scores))]
-        if not evaluate(chosen):
-            break
-        since_fit += 1
-    trace.total_elapsed = max(trace.total_elapsed, clock.now)
-    return trace
+    engine = SearchEngine(
+        evaluator,
+        SMBOProposer(
+            space,
+            spawn_rng("smbo", space.name, label, str(seed)),
+            n_initial=n_initial,
+            pool_size=pool_size,
+            acquisition=acquisition,
+            kappa=kappa,
+            source_surrogate=source_surrogate,
+            source_data=source_data,
+            refit_every=refit_every,
+        ),
+        nmax=nmax,
+        name=label,
+        space=space,
+        failure_mode="raise",
+        setup_abort_elapsed=False,
+    )
+    return engine.run()

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
-from repro.search.result import EvaluationRecord, SearchTrace
-from repro.tuner.database import Result, ResultsDatabase
+from repro.errors import SearchError
+from repro.search.engine import SearchEngine
+from repro.search.result import SearchTrace
+from repro.tuner.adapter import TechniqueProposer
+from repro.tuner.database import ResultsDatabase
 from repro.tuner.manipulator import ConfigurationManipulator
 from repro.tuner.technique import SearchTechnique
 
@@ -52,19 +54,6 @@ class TuningRun:
         self.space = space
         technique.bind(self.manipulator, self.database)
 
-    # ------------------------------------------------------------------
-    def _feedback_value(self, runtime: float, censored: bool) -> float:
-        """A finite objective value for a failed evaluation.
-
-        A censored runtime (timeout cap) is already a usable lower
-        bound; an unbounded failure is penalized relative to the worst
-        measurement seen so far.
-        """
-        if censored:
-            return runtime
-        worst = max((r.value for r in self.database.results()), default=1.0)
-        return self.FAILURE_FEEDBACK_FACTOR * worst
-
     def run(self, checkpoint=None) -> SearchTrace:
         """Run until ``nmax`` measurements (cache hits don't count).
 
@@ -78,103 +67,22 @@ class TuningRun:
         so the continuation explores from rebuilt knowledge rather than
         replaying the interrupted run bit-for-bit.
         """
-        trace = SearchTrace(algorithm=self.name)
-        if checkpoint is not None:
-            _, extra = checkpoint.restore(trace, self.space, evaluator=self.evaluator)
-            for row in extra.get("database", []):
-                config = self.space.config_at(int(row["config"]))
-                result = Result(
-                    config=config,
-                    value=float(row["value"]),
-                    technique=row["technique"],
-                    elapsed=float(row["elapsed"]),
-                    iteration=int(row["iteration"]),
-                )
-                self.database.add(result)
-                self.technique.feedback(config, result.value)
-        iteration = 0
-        stall_guard = 0
-        while trace.n_evaluations < self.nmax:
-            config = self.technique.propose()
-            iteration += 1
-            cached = self.database.lookup(config)
-            if cached is not None:
-                # Feed the remembered value back; costs no search time.
-                self.technique.feedback(config, cached.value)
-                stall_guard += 1
-                if stall_guard > 50 * self.nmax:
-                    break  # technique converged onto measured configs
-                continue
-            stall_guard = 0
-            failed = censored = False
-            try:
-                measurement = self.evaluator.evaluate(config)
-            except BudgetExhaustedError:
-                # The budget died mid-evaluation: the partial work until
-                # the budget wall was real, so charge the remainder and
-                # keep the final elapsed time on the trace instead of
-                # silently dropping it.
-                clock = self.evaluator.clock
-                if clock.remaining > 0:
-                    clock.advance(clock.remaining)
-                trace.exhausted_budget = True
-                break
-            except EvaluationFailure as exc:
-                failed = True
-                censored_at = getattr(exc, "censored_at", None)
-                censored = censored_at is not None
-                value = float("inf") if censored_at is None else float(censored_at)
-            else:
-                failed = bool(getattr(measurement, "failed", False))
-                censored = bool(getattr(measurement, "censored", False))
-                value = measurement.runtime_seconds
-            feedback = self._feedback_value(value, censored) if failed else value
-            self.database.add(
-                Result(
-                    config=config,
-                    value=feedback,
-                    technique=self.technique.name,
-                    elapsed=self.evaluator.clock.now,
-                    iteration=iteration,
-                )
-            )
-            self.technique.feedback(config, feedback)
-            trace.add(
-                EvaluationRecord(
-                    config=config,
-                    runtime=value,
-                    elapsed=self.evaluator.clock.now,
-                    failed=failed,
-                    censored=censored,
-                )
-            )
-            if checkpoint is not None:
-                checkpoint.maybe_save(
-                    trace,
-                    position=trace.n_evaluations,
-                    evaluator=self.evaluator,
-                    extra=self._database_state(),
-                )
-        trace.total_elapsed = max(trace.total_elapsed, self.evaluator.clock.now)
-        if checkpoint is not None:
-            checkpoint.save(
-                trace,
-                position=trace.n_evaluations,
-                evaluator=self.evaluator,
-                extra=self._database_state(),
-            )
-        return trace
-
-    def _database_state(self) -> dict:
-        return {
-            "database": [
-                {
-                    "config": r.config.index,
-                    "value": r.value,
-                    "technique": r.technique,
-                    "elapsed": r.elapsed,
-                    "iteration": r.iteration,
-                }
-                for r in self.database.results()
-            ]
-        }
+        engine = SearchEngine(
+            self.evaluator,
+            TechniqueProposer(
+                self.technique,
+                self.database,
+                self.space,
+                result_label=self.technique.name,
+                failure_feedback_factor=self.FAILURE_FEEDBACK_FACTOR,
+                iteration_mode="count",
+            ),
+            nmax=self.nmax,
+            name=self.name,
+            space=self.space,
+            # A budget wall mid-evaluation charges the remaining budget:
+            # the partial work until the wall was real.
+            charge_remainder_on_exhaust=True,
+            checkpoint=checkpoint,
+        )
+        return engine.run()

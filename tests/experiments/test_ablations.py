@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.ablations import (
     run_delta_sweep,
     run_dissimilarity,
+    run_hybrid,
     run_multisource,
     run_online,
     run_pool_sweep,
@@ -72,3 +73,21 @@ class TestOnline:
         assert len(res.rows) == 2
         assert res.rows[0].label.startswith("RSb (frozen")
         assert "online" in res.rows[1].label
+
+
+class TestHybrid:
+    def test_journaled_grid_and_resume(self, tmp_path):
+        registry = tmp_path / "hybrid.jsonl"
+        res = run_hybrid(deltas=(20.0,), registry_path=registry, **SMALL)
+        assert [r.label for r in res.rows] == [
+            "RSp (delta=20%)", "RSb (delta=20%)", "RSpb (delta=20%)"
+        ]
+        assert all(r.performance > 0 for r in res.rows)
+        assert registry.exists()  # every cell journaled by the grid
+        # A re-invocation resumes from the journal, bit-identically.
+        again = run_hybrid(deltas=(20.0,), registry_path=registry, **SMALL)
+        assert again == res
+
+    def test_render(self):
+        res = run_hybrid(deltas=(40.0,), **SMALL)
+        assert "prune-then-bias" in res.render()

@@ -17,10 +17,15 @@ def kernel():
 
 
 @pytest.fixture(scope="session")
-def surrogate(kernel):
+def training(kernel):
     ev = OrioEvaluator(kernel, WESTMERE, clock=SimClock())
     trace = random_search(ev, SharedStream(kernel.space, seed="rel"), nmax=50)
-    return Surrogate(kernel.space).fit(trace.training_data())
+    return trace.training_data()
+
+
+@pytest.fixture(scope="session")
+def surrogate(kernel, training):
+    return Surrogate(kernel.space).fit(training)
 
 
 @pytest.fixture

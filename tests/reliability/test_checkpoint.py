@@ -18,7 +18,11 @@ from repro.reliability import (
     trace_from_dict,
     trace_to_dict,
 )
-from repro.search.biasing import biased_search
+from repro.search.biasing import biased_search, hybrid_search
+from repro.search.model_free import (
+    model_free_biased_search,
+    model_free_pruned_search,
+)
 from repro.search.pruning import pruned_search
 from repro.search.random_search import random_search
 from repro.search.result import EvaluationRecord, SearchTrace
@@ -204,6 +208,51 @@ class TestSearchResume:
         )
         assert _trace_signature(resumed) == _trace_signature(reference)
         assert resumed.best().config.index == reference.best().config.index
+        assert resumed.total_elapsed == pytest.approx(reference.total_elapsed)
+
+    def test_rspf_resume_is_bit_identical(self, tmp_path, training, make_target):
+        reference = model_free_pruned_search(make_target(), training, nmax=40)
+        manager = CheckpointManager(tmp_path / "rspf.json", every=3)
+        model_free_pruned_search(
+            make_target(), training, nmax=8, checkpoint=manager
+        )
+        resumed = model_free_pruned_search(
+            make_target(), training, nmax=40, checkpoint=manager
+        )
+        assert _trace_signature(resumed) == _trace_signature(reference)
+        assert resumed.best().config.index == reference.best().config.index
+        assert resumed.total_elapsed == pytest.approx(reference.total_elapsed)
+
+    def test_rsbf_resume_is_bit_identical(self, tmp_path, training, make_target):
+        reference = model_free_biased_search(make_target(), training, nmax=30)
+        manager = CheckpointManager(tmp_path / "rsbf.json", every=3)
+        model_free_biased_search(
+            make_target(), training, nmax=10, checkpoint=manager
+        )
+        resumed = model_free_biased_search(
+            make_target(), training, nmax=30, checkpoint=manager
+        )
+        assert _trace_signature(resumed) == _trace_signature(reference)
+        assert resumed.best().config.index == reference.best().config.index
+        assert resumed.total_elapsed == pytest.approx(reference.total_elapsed)
+
+    def test_hybrid_resume_is_bit_identical(self, tmp_path, kernel, surrogate,
+                                            make_target):
+        reference = hybrid_search(
+            make_target(), kernel.space, surrogate, nmax=16, pool_size=300
+        )
+        manager = CheckpointManager(tmp_path / "rspb.json", every=4)
+        hybrid_search(
+            make_target(), kernel.space, surrogate, nmax=8, pool_size=300,
+            checkpoint=manager,
+        )
+        resumed = hybrid_search(
+            make_target(), kernel.space, surrogate, nmax=16, pool_size=300,
+            checkpoint=manager,
+        )
+        assert _trace_signature(resumed) == _trace_signature(reference)
+        assert resumed.metadata["cutoff"] == reference.metadata["cutoff"]
+        assert resumed.metadata["pool_size"] == reference.metadata["pool_size"]
         assert resumed.total_elapsed == pytest.approx(reference.total_elapsed)
 
 

@@ -1,0 +1,36 @@
+"""Regenerate the golden trace fixtures.
+
+Usage (from the repo root, on a commit whose search implementations are
+known-good — see tests/search/golden_scenarios.py):
+
+    PYTHONPATH=src:tests/search python tests/search/golden/generate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.dirname(HERE))  # tests/search, for golden_scenarios
+
+from golden_scenarios import SCENARIOS  # noqa: E402
+
+from repro.reliability.checkpoint import trace_to_dict  # noqa: E402
+
+
+def main() -> None:
+    fixtures = {}
+    for name, scenario in SCENARIOS.items():
+        trace = scenario()
+        fixtures[name] = trace_to_dict(trace)
+        print(f"{name}: {trace}")
+    path = os.path.join(HERE, "traces.json")
+    with open(path, "w") as fh:
+        json.dump(fixtures, fh, indent=1, sort_keys=True)
+    print(f"wrote {path} ({len(fixtures)} scenarios)")
+
+
+if __name__ == "__main__":
+    main()

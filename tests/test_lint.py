@@ -1,0 +1,176 @@
+"""The devtools lint: the real tree is clean, and the checks actually
+catch the defects they exist for (exercised on synthetic trees)."""
+
+import os
+import textwrap
+
+from repro.devtools.lint import (
+    check_dead_code,
+    check_imports,
+    collect_modules,
+    find_cycles,
+    run_lint,
+)
+
+
+def _write_tree(root, files):
+    for rel, body in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(textwrap.dedent(body))
+    return os.path.join(root, "src")
+
+
+class TestRealTree:
+    def test_source_tree_is_clean(self):
+        assert run_lint() == []
+
+
+class TestCycleDetection:
+    def test_detects_runtime_cycle(self, tmp_path):
+        src = _write_tree(tmp_path, {
+            "src/repro/__init__.py": "",
+            "src/repro/a.py": "from repro.b import thing\n",
+            "src/repro/b.py": "from repro.a import other\n",
+        })
+        errors = check_imports(collect_modules(src))
+        assert len(errors) == 1
+        assert "runtime import cycle" in errors[0]
+        assert "repro.a" in errors[0] and "repro.b" in errors[0]
+
+    def test_parent_submodule_import_is_not_a_cycle(self, tmp_path):
+        # The benign package pattern: __init__ re-exports a submodule
+        # while a sibling pulls a *submodule* (not an attribute) out of
+        # the package — the dependency lands on the submodule.
+        src = _write_tree(tmp_path, {
+            "src/repro/__init__.py": "",
+            "src/repro/ml/__init__.py": "from repro.ml.forest import Forest\n",
+            "src/repro/ml/_native.py": "KERNEL = None\n",
+            "src/repro/ml/forest.py": (
+                "from repro.ml import _native\nclass Forest:\n    pass\n"
+            ),
+        })
+        assert check_imports(collect_modules(src)) == []
+
+    def test_attribute_import_cycle_through_init(self, tmp_path):
+        # Importing an *attribute* (not a submodule) from the package
+        # __init__ is a genuine dependency on the __init__ module.
+        src = _write_tree(tmp_path, {
+            "src/repro/__init__.py": "",
+            "src/repro/ml/__init__.py": (
+                "from repro.ml.forest import Forest\nHELPER = 1\n"
+            ),
+            "src/repro/ml/forest.py": (
+                "from repro.ml import HELPER\nclass Forest:\n    pass\n"
+            ),
+        })
+        errors = check_imports(collect_modules(src))
+        assert any("runtime import cycle" in e for e in errors)
+
+    def test_lazy_function_imports_are_ignored(self, tmp_path):
+        src = _write_tree(tmp_path, {
+            "src/repro/__init__.py": "",
+            "src/repro/a.py": (
+                "from repro.b import thing\n"
+            ),
+            "src/repro/b.py": (
+                "def late():\n    from repro.a import other\n    return other\n"
+            ),
+        })
+        assert check_imports(collect_modules(src)) == []
+
+    def test_relative_imports_resolve(self, tmp_path):
+        src = _write_tree(tmp_path, {
+            "src/repro/__init__.py": "",
+            "src/repro/pkg/__init__.py": "",
+            "src/repro/pkg/a.py": "from .b import thing\n",
+            "src/repro/pkg/b.py": "from .a import other\n",
+        })
+        errors = check_imports(collect_modules(src))
+        assert any("runtime import cycle" in e for e in errors)
+
+    def test_tarjan_finds_self_loop(self):
+        assert find_cycles({"a": {"a"}}) == [["a"]]
+        assert find_cycles({"a": {"b"}, "b": set()}) == []
+
+
+class TestTypeCheckingGate:
+    def test_internal_type_checking_import_is_flagged(self, tmp_path):
+        src = _write_tree(tmp_path, {
+            "src/repro/__init__.py": "",
+            "src/repro/a.py": """\
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    from repro.b import Thing
+            """,
+            "src/repro/b.py": "class Thing:\n    pass\n",
+        })
+        errors = check_imports(collect_modules(src))
+        assert len(errors) == 1
+        assert "TYPE_CHECKING" in errors[0]
+        assert "repro.b" in errors[0]
+
+    def test_external_type_checking_import_is_allowed(self, tmp_path):
+        src = _write_tree(tmp_path, {
+            "src/repro/__init__.py": "",
+            "src/repro/a.py": """\
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    import numpy as np
+            """,
+        })
+        assert check_imports(collect_modules(src)) == []
+
+
+class TestDeadCode:
+    def _tree(self, tmp_path, search_module):
+        src = _write_tree(tmp_path, {
+            "src/repro/__init__.py": "",
+            "src/repro/search/__init__.py": "",
+            "src/repro/search/mod.py": search_module,
+            "src/repro/other.py": "from repro.search.mod import used\n",
+        })
+        return collect_modules(src), str(tmp_path)
+
+    def test_unreferenced_public_def_is_flagged(self, tmp_path):
+        modules, root = self._tree(tmp_path, """\
+            __all__ = ["exported"]
+
+            def exported():
+                pass
+
+            def used():
+                pass
+
+            def orphan():
+                pass
+        """)
+        errors = check_dead_code(modules, root)
+        assert len(errors) == 1
+        assert "'orphan'" in errors[0]
+
+    def test_unused_private_def_is_flagged(self, tmp_path):
+        modules, root = self._tree(tmp_path, """\
+            def used():
+                return _helper()
+
+            def _helper():
+                pass
+
+            def _stale():
+                pass
+        """)
+        errors = check_dead_code(modules, root)
+        assert len(errors) == 1
+        assert "'_stale'" in errors[0]
+
+
+class TestCli:
+    def test_main_is_clean_on_this_repo(self, capsys):
+        from repro.devtools.lint import main
+
+        assert main() == 0
+        assert "clean" in capsys.readouterr().out
