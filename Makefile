@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench faults chaos report examples clean
+.PHONY: install test lint bench faults guard chaos report examples clean
 
 # Chaos knobs for `make chaos` (override on the command line).
 CHAOS_RATE ?= 0.5
@@ -33,6 +33,12 @@ bench:
 
 faults:
 	$(PYTHON) -m pytest -x -q benchmarks/test_ablations.py::test_fault_ablation --benchmark-only
+
+# Negative-transfer guardrails: adversarial sources x guard on/off,
+# written to benchmarks/results/ablation_guard.txt (journaled grid,
+# REPRO_RESUME applies).
+guard:
+	$(PYTHON) -m pytest -x -q benchmarks/test_ablations.py::test_negative_transfer --benchmark-only
 
 # Run the executor test suite under amplified deterministic worker
 # kills (REPRO_CHAOS_RATE of task dispatches die on arrival), then the

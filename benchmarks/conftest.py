@@ -37,11 +37,17 @@ def registry_dir(results_dir) -> Path:
 
 @pytest.fixture
 def save_artifact(results_dir):
-    """save_artifact(name, text): persist a rendered table/figure."""
+    """save_artifact(name, text): persist a rendered table/figure.
+
+    Written atomically (tmp + fsync + rename), so a run killed
+    mid-write leaves either the previous artefact or the new one —
+    never a truncated table."""
 
     def _save(name: str, text: str) -> Path:
+        from repro.reliability.checkpoint import atomic_write_text
+
         path = results_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        atomic_write_text(path, text + "\n")
         return path
 
     return _save

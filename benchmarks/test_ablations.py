@@ -163,6 +163,39 @@ def test_hybrid(benchmark, save_artifact, registry_dir):
         assert hybrid.performance >= parent.performance * 0.9
 
 
+def test_negative_transfer(benchmark, save_artifact, registry_dir):
+    """Regenerate the negative-transfer guard ablation: adversarial
+    sources (runtime-inverted, label-shuffled, wrong-machine,
+    stale-partial) x guard on/off, journaled by the supervised grid."""
+    from repro.experiments.ablations import run_negative_transfer
+
+    result = benchmark.pedantic(
+        lambda: run_negative_transfer(
+            seed=0, registry_path=registry_dir / "negative_transfer.jsonl"
+        ),
+        rounds=1, iterations=1,
+    )
+    save_artifact("ablation_guard", result.render())
+    rows = {r.label: r for r in result.rows}
+    assert len(result.rows) == 20  # 5 modes x {bare, guard} x {RSp, RSb}
+    for variant in ("RSp", "RSb"):
+        # Hostile source: the guard's fallback must recover plain RS's
+        # quality to within 5% while the bare run is measurably worse.
+        guarded = rows[f"inverted/{variant} (guard)"]
+        bare = rows[f"inverted/{variant} (bare)"]
+        assert guarded.performance >= 1.0 / 1.05
+        assert bare.performance < guarded.performance * 0.9
+        # Faithful source: the guard must not change the run at all.
+        g, b = rows[f"faithful/{variant} (guard)"], rows[f"faithful/{variant} (bare)"]
+        assert (g.performance, g.search_time) == (b.performance, b.search_time)
+    # And the faithful guards report zero interventions in the notes.
+    for variant in ("RSp", "RSb"):
+        assert (
+            f"faithful/{variant} (guard): state=trusted, interventions=0"
+            in result.note
+        )
+
+
 def test_variance_study(benchmark, save_artifact):
     """Quantify the run-to-run variance behind single-run table cells."""
     from repro.experiments.variance import run_variance_study

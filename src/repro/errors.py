@@ -29,6 +29,22 @@ class NotFittedError(ModelError):
     """A model was asked to predict before :meth:`fit` was called."""
 
 
+class SourceDataError(ModelError):
+    """A source trace offered as surrogate training data is unusable.
+
+    Raised by :func:`repro.transfer.sanitize.sanitize_training` (and
+    therefore by :meth:`repro.transfer.Surrogate.fit`) when source rows
+    are structurally invalid — NaN/negative runtimes under a log
+    target, configurations from a foreign space, exact duplicate rows —
+    or when sanitization/censoring leaves nothing to fit.  ``report``
+    carries the per-category counts of what was found.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        self.report = report
+        super().__init__(message)
+
+
 class MachineError(ReproError):
     """Invalid machine specification or unknown machine name."""
 

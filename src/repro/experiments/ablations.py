@@ -25,6 +25,11 @@
   pool ranking gated by the pruning cutoff ∆, built via the engine's
   :func:`~repro.search.engine.compose`) against its parents RSp and
   RSb across ∆ values, journaled through the supervised grid.
+* :func:`run_negative_transfer` — robustness: feed RSp/RSb adversarial
+  source data (runtime-inverted, label-shuffled, wrong-machine,
+  stale-partial) with and without the
+  :class:`~repro.transfer.guard.GuardPolicy` guardrails, and measure
+  how much of plain RS's quality the guard's fallback preserves.
 """
 
 from __future__ import annotations
@@ -47,8 +52,10 @@ from repro.ml import (
 from repro.orio.evaluator import OrioEvaluator
 from repro.perf.simclock import SimClock
 from repro.search.biasing import biased_search
+from repro.search.pruning import pruned_search
 from repro.search.random_search import random_search
 from repro.search.stream import SharedStream
+from repro.transfer.guard import GuardPolicy
 from repro.transfer.metrics import speedups
 from repro.transfer.surrogate import Surrogate
 from repro.utils.rng import spawn_rng
@@ -68,6 +75,7 @@ __all__ = [
     "run_search_comparison",
     "run_fault_ablation",
     "run_hybrid",
+    "run_negative_transfer",
 ]
 
 
@@ -497,6 +505,142 @@ def run_hybrid(
         name=f"prune-then-bias hybrid ({problem}, {source} -> {target})",
         rows=rows,
         note="RSpb = biased pool order gated by the pruning cutoff delta (CRN)",
+    )
+
+
+def _corrupt_training(mode: str, training: list, seed: object) -> list:
+    """Apply one adversarial corruption to the source data ``Ta``."""
+    if mode in ("faithful", "wrong-machine"):
+        # wrong-machine corrupts by *collection* (dissimilar source),
+        # not by mangling the rows.
+        return training
+    if mode == "inverted":
+        runtimes = [y for _, y in training]
+        lo, hi = min(runtimes), max(runtimes)
+        return [(c, lo + hi - y) for c, y in training]
+    if mode == "shuffled":
+        rng = spawn_rng("negative-transfer", str(seed))
+        order = rng.permutation(len(training))
+        return [(c, training[int(j)][1]) for (c, _), j in zip(training, order)]
+    if mode == "stale-partial":
+        return training[: max(8, len(training) // 5)]
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+def _negative_transfer_cell(spec: tuple) -> tuple:
+    """One guard-ablation cell — module level so it can run in a worker.
+
+    Runs RS (the CRN baseline) plus RSp and RSb on the target, fitting
+    the surrogate on one corrupted source dataset, with or without the
+    guardrails.  Returns per-variant ``(variant, performance,
+    search_time, guard_state, interventions)`` tuples.
+    """
+    (problem, source, wrong_source, target, seed,
+     nmax, pool_size, mode, guarded) = spec
+    kernel = get_kernel(problem.lower())
+    stream_seed = (problem, str(seed))
+
+    def stream() -> SharedStream:
+        return SharedStream(kernel.space, seed=stream_seed)
+
+    def evaluator(machine: str) -> OrioEvaluator:
+        return OrioEvaluator(kernel, get_machine(machine), clock=SimClock())
+
+    src_machine = wrong_source if mode == "wrong-machine" else source
+    src_trace = random_search(
+        evaluator(src_machine), stream(), nmax=nmax, name="RS(source)"
+    )
+    training = _corrupt_training(mode, src_trace.training_data(), seed)
+    surrogate = Surrogate(kernel.space).fit(training)
+    rs = random_search(evaluator(target), stream(), nmax=nmax)
+
+    out = []
+    for variant in ("RSp", "RSb"):
+        guard = GuardPolicy() if guarded else None
+        if variant == "RSp":
+            trace = pruned_search(
+                evaluator(target), stream(), surrogate,
+                nmax=nmax, pool_size=pool_size, guard=guard,
+            )
+        else:
+            trace = biased_search(
+                evaluator(target), kernel.space, surrogate,
+                nmax=nmax, pool_size=pool_size, guard=guard,
+                stream=stream() if guarded else None,
+            )
+        rep = speedups(rs, trace)
+        meta = trace.metadata.get("guard")
+        state = meta["state"] if meta else "trusted"
+        interventions = (
+            meta["audits"] + meta["widened_admits"] + meta["fallback_proposals"]
+            if meta else 0
+        )
+        out.append((variant, rep.performance, rep.search_time, state, interventions))
+    return tuple(out)
+
+
+def run_negative_transfer(
+    modes: Sequence[str] = (
+        "faithful", "inverted", "shuffled", "wrong-machine", "stale-partial",
+    ),
+    problem: str = "LU",
+    source: str = "westmere",
+    target: str = "sandybridge",
+    wrong_source: str = "xgene",
+    seed: object = 0,
+    nmax: int = 100,
+    pool_size: int = 10_000,
+    n_workers: int = 1,
+    registry_path=None,
+) -> AblationResult:
+    """Adversarial sources × guard on/off — the negative-transfer study.
+
+    The paper shows transfer *failing* (Prf < 1.0 cells, the X-Gene
+    rows); this ablation manufactures such failures on purpose —
+    runtime-inverted labels, label shuffling, a maximally dissimilar
+    source machine, a stale truncated ``Ta`` — and measures what the
+    :class:`~repro.transfer.guard.GuardPolicy` guardrails salvage.  A
+    healthy guard leaves the faithful rows untouched (it stays TRUSTED;
+    the guarded trace is identical to the unguarded one) while on a
+    hostile source it revokes the model and recovers plain RS's quality
+    on the shared stream.  With ``registry_path`` every cell is
+    journaled by the supervised grid (``REPRO_RESUME`` applies).
+    """
+    specs = [
+        (problem, source, wrong_source, target, seed,
+         nmax, pool_size, mode, guarded)
+        for mode in modes
+        for guarded in (False, True)
+    ]
+    keys = [
+        (problem, source, wrong_source, target, str(seed),
+         nmax, pool_size, mode, guarded)
+        for (_p, _s, _w, _t, _sd, nmax, pool_size, mode, guarded) in specs
+    ]
+    cells = grid_map(
+        "negative-transfer", _negative_transfer_cell, specs,
+        keys=keys, n_workers=n_workers, registry_path=registry_path,
+    )
+    rows = []
+    guard_lines = []
+    for spec, cell in zip(specs, cells):
+        mode, guarded = spec[-2], spec[-1]
+        for variant, performance, search_time, state, interventions in cell:
+            label = f"{mode}/{variant} ({'guard' if guarded else 'bare'})"
+            rows.append(AblationRow(label, performance, search_time))
+            if guarded:
+                guard_lines.append(
+                    f"  {label}: state={state}, interventions={interventions}"
+                )
+    note = (
+        "Prf.Imp vs plain RS under CRN (>= 1.0: transfer helps; the guard\n"
+        "must keep hostile-source rows near 1.0 and leave faithful rows\n"
+        "untouched)\n" + "\n".join(guard_lines)
+    )
+    return AblationResult(
+        name=f"negative-transfer guardrails ({problem}, {source} -> {target})",
+        rows=tuple(rows),
+        note=note,
     )
 
 

@@ -36,6 +36,7 @@ from repro.searchspace.space import SearchSpace
 
 __all__ = [
     "FORMAT_VERSION",
+    "atomic_write_text",
     "trace_to_dict",
     "trace_from_dict",
     "SearchCheckpoint",
@@ -189,19 +190,41 @@ def _backup_path(path: str) -> str:
 
 
 def _atomic_write(path: str, payload: dict, keep_backup: bool = False) -> None:
-    """Write-then-rename; with ``keep_backup`` the previous file (the
-    last checkpoint that parsed well enough to be saved over) survives
-    as ``<path>.bak`` — the recovery target when the live file is later
-    found truncated or corrupt."""
+    """Write-then-fsync-then-rename; with ``keep_backup`` the previous
+    file (the last checkpoint that parsed well enough to be saved over)
+    survives as ``<path>.bak`` — the recovery target when the live file
+    is later found truncated or corrupt."""
     tmp = f"{path}.tmp"
     try:
         with open(tmp, "w") as fh:
             json.dump(_encode_floats(payload), fh, allow_nan=False)
+            fh.flush()
+            os.fsync(fh.fileno())
         if keep_backup and os.path.exists(path):
             os.replace(path, _backup_path(path))
         os.replace(tmp, path)
     except OSError as exc:
         raise CheckpointError(f"could not write checkpoint {path!r}: {exc}") from exc
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Crash-safe plain-text write: tmp file, fsync, rename.
+
+    A reader (or a crash) never sees a half-written file — it sees the
+    old content or the new, nothing in between.  Benchmark artefacts
+    under ``benchmarks/results/`` are written through this, so a killed
+    run cannot leave a truncated table behind masquerading as results.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(f"could not write {path!r}: {exc}") from exc
 
 
 def _read_json(path: str) -> dict:

@@ -20,12 +20,29 @@ from __future__ import annotations
 from repro.errors import SearchError
 from repro.search.engine import SearchEngine, compose
 from repro.search.gates import PredictionCutoffGate
+from repro.search.guarded import GuardedGate, GuardedProposer, build_guard
 from repro.search.proposers import PoolRankProposer
 from repro.search.protocols import SurrogateModel
 from repro.search.result import SearchTrace
 from repro.searchspace.space import SearchSpace
 
 __all__ = ["biased_search", "hybrid_search"]
+
+
+def _guarded_pool_proposer(proposer, guard, surrogate, stream, name):
+    """Wrap a pool ranker when a guard is armed; validates the stream.
+
+    A pool ranker's only candidate source *is* the model, so a guarded
+    run needs the shared stream as its plain-RS fallback.
+    """
+    guard_obj = build_guard(guard, surrogate)
+    if guard_obj is None:
+        return proposer, None
+    if stream is None and guard_obj.enabled:
+        raise SearchError(
+            f"guarded {name} needs stream= as its plain-RS fallback source"
+        )
+    return GuardedProposer(proposer, guard_obj, stream=stream), guard_obj
 
 
 def biased_search(
@@ -36,6 +53,8 @@ def biased_search(
     pool_size: int = 10_000,
     name: str = "RSb",
     checkpoint=None,
+    guard=None,
+    stream=None,
 ) -> SearchTrace:
     """Run RSb for at most ``nmax`` evaluations.
 
@@ -46,14 +65,26 @@ def biased_search(
     ``checkpoint`` optionally resumes an interrupted run: the pool is
     redrawn from its deterministic, stateless generator key, so the
     resumed evaluation order is bit-identical to the interrupted one.
+
+    ``guard`` (a :class:`repro.transfer.guard.GuardPolicy` or pre-built
+    guard) arms negative-transfer monitoring; a guarded RSb interleaves
+    the model ranking with ``stream`` draws while the model is SUSPECT
+    and follows ``stream`` alone — plain RS under common random
+    numbers — once it is REVOKED, so ``stream`` is required when the
+    guard is enabled.  ``guard=None`` and ``GuardPolicy.disabled()``
+    are byte-identical to an unguarded run.
     """
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
     if pool_size < 10:
         raise SearchError(f"pool_size must be >= 10, got {pool_size}")
+    proposer, _ = _guarded_pool_proposer(
+        PoolRankProposer(space, surrogate, pool_size=pool_size),
+        guard, surrogate, stream, name,
+    )
     engine = SearchEngine(
         evaluator,
-        PoolRankProposer(space, surrogate, pool_size=pool_size),
+        proposer,
         nmax=nmax,
         name=name,
         space=space,
@@ -71,6 +102,8 @@ def hybrid_search(
     delta_percent: float = 20.0,
     name: str = "RSpb",
     checkpoint=None,
+    guard=None,
+    stream=None,
 ) -> SearchTrace:
     """Run the prune-then-bias hybrid (RSpb) for at most ``nmax``
     evaluations.
@@ -88,6 +121,10 @@ def hybrid_search(
     :func:`biased_search`; the resumed pool and cutoff are recomputed
     deterministically.  ``trace.metadata`` carries both ``pool_size``
     and the ``cutoff`` ``∆``.
+
+    ``guard``/``stream`` behave as in :func:`biased_search` (the gate
+    additionally widens its cutoff and audits under suspicion, as in
+    guarded :func:`~repro.search.pruning.pruned_search`).
     """
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
@@ -96,10 +133,16 @@ def hybrid_search(
     if not 0.0 < delta_percent < 100.0:
         raise SearchError(f"delta_percent must be in (0, 100), got {delta_percent}")
     proposer = PoolRankProposer(space, surrogate, pool_size=pool_size)
+    gate = PredictionCutoffGate(proposer, delta_percent=delta_percent)
+    proposer, guard_obj = _guarded_pool_proposer(
+        proposer, guard, surrogate, stream, name
+    )
+    if guard_obj is not None:
+        gate = GuardedGate(gate, guard_obj)
     engine = compose(
         evaluator,
         proposer,
-        PredictionCutoffGate(proposer, delta_percent=delta_percent),
+        gate,
         nmax=nmax,
         name=name,
         space=space,

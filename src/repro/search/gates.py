@@ -75,6 +75,7 @@ class QuantileGate:
         self.pool_size = pool_size
         self.rng_label = rng_label
         self.cutoff: float | None = None
+        self._scored = None  # pool predictions, kept for cutoff_at()
 
     def setup(self, ctx: EngineContext) -> None:
         clock = ctx.clock
@@ -85,12 +86,23 @@ class QuantileGate:
         predictions = self.surrogate.predict(pool)
         if not ctx.resumed:
             clock.advance(self.surrogate.predict_seconds(len(pool)))
+        self._scored = predictions
         self.cutoff = quantile(predictions, self.delta_percent / 100.0)
         ctx.trace.metadata["cutoff"] = self.cutoff
 
     def admit(self, ctx: EngineContext, proposal: Proposal) -> bool:
         ctx.clock.advance(self.surrogate.predict_seconds(1))
         return not (proposal.predicted >= self.cutoff)
+
+    @property
+    def delta_fraction(self) -> float:
+        return self.delta_percent / 100.0
+
+    def cutoff_at(self, fraction: float) -> float:
+        """The cutoff this gate would use at another quantile — how a
+        guard widens the pruning test without new model queries (the
+        pool predictions were scored, and charged, in setup)."""
+        return quantile(self._scored, fraction)
 
 
 class ReplayThresholdGate:
@@ -145,3 +157,13 @@ class PredictionCutoffGate:
 
     def admit(self, ctx: EngineContext, proposal: Proposal) -> bool:
         return not (proposal.predicted >= self.cutoff)
+
+    @property
+    def delta_fraction(self) -> float:
+        return self.delta_percent / 100.0
+
+    def cutoff_at(self, fraction: float) -> float:
+        """The cutoff at another quantile of the proposer's pool
+        predictions — the guard's quantile-widening hook (free, like
+        :meth:`admit`)."""
+        return quantile(self.proposer.predictions, fraction)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.errors import SearchError
 from repro.search.engine import SearchEngine
 from repro.search.gates import QuantileGate
+from repro.search.guarded import GuardedGate, GuardedProposer, build_guard
 from repro.search.proposers import StreamProposer
 from repro.search.protocols import SurrogateModel
 from repro.search.result import SearchTrace
@@ -37,6 +38,7 @@ def pruned_search(
     prefetch: int = 256,
     name: str = "RSp",
     checkpoint=None,
+    guard=None,
 ) -> SearchTrace:
     """Run RSp for at most ``nmax`` evaluations.
 
@@ -59,6 +61,15 @@ def pruned_search(
     ``checkpoint`` optionally resumes an interrupted run; the pruning
     cutoff is recomputed deterministically on resume without re-charging
     the model-fit time.
+
+    ``guard`` (a :class:`repro.transfer.guard.GuardPolicy` or a
+    pre-built guard instance) arms negative-transfer monitoring: the
+    surrogate is scored against target observations as they accrue,
+    the pruning quantile widens under suspicion (with occasional
+    audits of would-be-pruned configurations), and a revoked model
+    degrades the run to plain RS on the same stream.  ``guard=None``
+    and ``GuardPolicy.disabled()`` are byte-identical to an unguarded
+    run.
     """
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
@@ -72,17 +83,26 @@ def pruned_search(
         max_stream_positions = 50 * nmax
 
     space = stream.space
+    proposer = StreamProposer(
+        stream,
+        surrogate=surrogate,
+        prefetch=prefetch,
+        position_cap=max_stream_positions,
+    )
+    gate = QuantileGate(
+        space, surrogate, delta_percent=delta_percent, pool_size=pool_size
+    )
+    guard_obj = build_guard(guard, surrogate)
+    if guard_obj is not None:
+        # RSp's proposer already walks the shared stream, so no
+        # separate fallback source: REVOKED simply stops paying for
+        # (and acting on) model queries.
+        proposer = GuardedProposer(proposer, guard_obj)
+        gate = GuardedGate(gate, guard_obj)
     engine = SearchEngine(
         evaluator,
-        StreamProposer(
-            stream,
-            surrogate=surrogate,
-            prefetch=prefetch,
-            position_cap=max_stream_positions,
-        ),
-        QuantileGate(
-            space, surrogate, delta_percent=delta_percent, pool_size=pool_size
-        ),
+        proposer,
+        gate,
         nmax=nmax,
         name=name,
         space=space,

@@ -25,20 +25,32 @@ from repro.searchspace.space import Configuration, SearchSpace
 
 __all__ = ["EncodingCache", "encoding_cache", "encode_cached"]
 
-#: Row-memo size guard — far above any pool this reproduction uses.
+#: Default row-memo bound — far above any pool this reproduction uses,
+#: but a hard cap so week-long guarded runs cannot grow memory forever.
 _MAX_ROWS = 200_000
 
 
 class EncodingCache:
-    """Per-space memo of encoded rows and recently encoded pools."""
+    """Per-space memo of encoded rows and recently encoded pools.
 
-    def __init__(self, space: SearchSpace, max_pools: int = 8) -> None:
+    Both memos are bounded: pools by a small true-LRU (``max_pools``),
+    rows by ``max_rows`` with oldest-inserted eviction — reads are on
+    the searches' hot path, so row hits deliberately skip the
+    recency bookkeeping a strict LRU would charge per lookup.
+    """
+
+    def __init__(
+        self, space: SearchSpace, max_pools: int = 8, max_rows: int = _MAX_ROWS
+    ) -> None:
         self.space = space
         self.max_pools = max_pools
-        self._rows: dict[int, np.ndarray] = {}
+        self.max_rows = max_rows
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._pools: OrderedDict[tuple[int, ...], np.ndarray] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.row_evictions = 0
+        self.pool_evictions = 0
 
     def encode_many(self, configs: Sequence[Configuration]) -> np.ndarray:
         """Encoded ``(n, dim)`` matrix; read-only and safe to share."""
@@ -52,8 +64,6 @@ class EncodingCache:
             return pool
         self.misses += 1
         rows = self._rows
-        if len(rows) > _MAX_ROWS:  # pragma: no cover - safety valve
-            rows.clear()
         missing = [c for c in configs if c.index not in rows]
         if missing:
             encoded = self.space.encode_many(missing)
@@ -66,10 +76,29 @@ class EncodingCache:
         else:
             mat = np.array([rows[i] for i in key])
         mat.flags.writeable = False
+        # Evict only after ``mat`` is assembled: a pool larger than the
+        # row bound must still encode correctly, it just isn't memoized.
+        while len(rows) > self.max_rows:
+            rows.popitem(last=False)
+            self.row_evictions += 1
         self._pools[key] = mat
         while len(self._pools) > self.max_pools:
             self._pools.popitem(last=False)
+            self.pool_evictions += 1
         return mat
+
+    def stats(self) -> dict[str, int]:
+        """Current sizes and lifetime counters, for diagnostics."""
+        return {
+            "rows": len(self._rows),
+            "max_rows": self.max_rows,
+            "pools": len(self._pools),
+            "max_pools": self.max_pools,
+            "hits": self.hits,
+            "misses": self.misses,
+            "row_evictions": self.row_evictions,
+            "pool_evictions": self.pool_evictions,
+        }
 
 
 _caches: "WeakKeyDictionary[SearchSpace, EncodingCache]" = WeakKeyDictionary()

@@ -8,11 +8,18 @@ the model-free controls (RSpf, RSbf) under common random numbers.
 """
 
 from repro.transfer.surrogate import Surrogate
+from repro.transfer.sanitize import SanitizationReport, sanitize_training
+from repro.transfer.guard import GuardPolicy, ModelGuard, ModelHealthMonitor
 from repro.transfer.metrics import SpeedupReport, speedups
 from repro.transfer.session import TransferOutcome, TransferSession
 
 __all__ = [
     "Surrogate",
+    "SanitizationReport",
+    "sanitize_training",
+    "GuardPolicy",
+    "ModelGuard",
+    "ModelHealthMonitor",
     "SpeedupReport",
     "speedups",
     "TransferOutcome",

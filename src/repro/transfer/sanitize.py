@@ -1,0 +1,149 @@
+"""Source-trace validation — the data-integrity front door of transfer.
+
+A source trace is foreign data: it may come from another machine, an
+older code version, or a partially corrupted results file.  Feeding a
+structurally broken row into :meth:`repro.transfer.Surrogate.fit`
+either crashes deep inside numpy (``log`` of a negative runtime) or —
+worse — silently fits a misleading model, which is exactly the
+negative-transfer failure mode the guard layer exists to contain.
+:func:`sanitize_training` screens every ``(configuration, runtime)``
+pair *before* the learner sees it and classifies each problem:
+
+* **NaN or -inf runtimes** — never meaningful measurements;
+* **non-positive runtimes** under a log target (``require_positive``)
+  — ``log(y)`` is undefined for them;
+* **out-of-space configurations** — rows encoded against a different
+  :class:`~repro.searchspace.space.SearchSpace` would be scrambled by
+  this space's encoding;
+* **exact duplicate rows** — identical ``(config index, runtime)``
+  pairs silently re-weight the learner.
+
+``+inf`` runtimes pass through untouched: they are *censored*
+measurements (timeouts, failures) with a documented policy of their
+own in ``Surrogate.fit(censored=...)``.
+
+The policy is explicit: ``on_invalid="raise"`` (the default in
+``Surrogate.fit``) raises a structured
+:class:`~repro.errors.SourceDataError` naming every category found,
+while ``on_invalid="drop"`` removes the offending rows and records the
+counts in the returned :class:`SanitizationReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SearchSpaceError, SourceDataError
+from repro.searchspace.space import Configuration, SearchSpace
+
+__all__ = ["SanitizationReport", "sanitize_training"]
+
+_POLICIES = ("raise", "drop")
+
+
+def _belongs(space: SearchSpace, config: object) -> bool:
+    """Whether ``config`` is valid in ``space``.
+
+    Identity covers the common case; otherwise the row's values are
+    re-linearized in ``space`` — pooled multi-machine training
+    legitimately carries configurations from an *equal* space built by
+    an independent ``get_kernel`` call, and those must not be rejected.
+    """
+    if not isinstance(config, Configuration):
+        return False
+    if config.space is space:
+        return True
+    try:
+        return space.configuration(dict(config)).index == config.index
+    except SearchSpaceError:
+        return False
+
+
+@dataclass
+class SanitizationReport:
+    """What :func:`sanitize_training` found in one training set."""
+
+    n_input: int = 0
+    n_kept: int = 0
+    n_nan: int = 0
+    n_nonpositive: int = 0
+    n_out_of_space: int = 0
+    n_duplicate: int = 0
+    policy: str = "raise"
+    #: one human-readable line per offending row, in input order
+    findings: list[str] = field(default_factory=list)
+
+    @property
+    def n_invalid(self) -> int:
+        return self.n_nan + self.n_nonpositive + self.n_out_of_space + self.n_duplicate
+
+    @property
+    def clean(self) -> bool:
+        return self.n_invalid == 0
+
+    def summary(self) -> str:
+        parts = []
+        if self.n_nan:
+            parts.append(f"{self.n_nan} NaN/-inf runtime(s)")
+        if self.n_nonpositive:
+            parts.append(f"{self.n_nonpositive} non-positive runtime(s)")
+        if self.n_out_of_space:
+            parts.append(f"{self.n_out_of_space} out-of-space configuration(s)")
+        if self.n_duplicate:
+            parts.append(f"{self.n_duplicate} duplicate row(s)")
+        if not parts:
+            return f"{self.n_input} row(s), all valid"
+        return f"{self.n_input} row(s): " + ", ".join(parts)
+
+
+def sanitize_training(
+    space: SearchSpace,
+    training: Sequence[tuple[Configuration, float]],
+    require_positive: bool = True,
+    on_invalid: str = "raise",
+) -> tuple[list[tuple[Configuration, float]], SanitizationReport]:
+    """Validate ``(configuration, runtime)`` pairs against ``space``.
+
+    Returns ``(kept_rows, report)``.  Under ``on_invalid="raise"`` any
+    finding raises :class:`~repro.errors.SourceDataError` (with the
+    report attached); under ``"drop"`` offending rows are removed —
+    duplicates keep their first occurrence — and the counts land in
+    the report.
+    """
+    if on_invalid not in _POLICIES:
+        raise SourceDataError(
+            f"on_invalid must be one of {_POLICIES}, got {on_invalid!r}"
+        )
+    report = SanitizationReport(n_input=len(training), policy=on_invalid)
+    kept: list[tuple[Configuration, float]] = []
+    seen: set[tuple[int, float]] = set()
+    for row_no, (config, runtime) in enumerate(training):
+        runtime = float(runtime)
+        problem = None
+        if not _belongs(space, config):
+            problem = "out_of_space"
+            report.n_out_of_space += 1
+        elif math.isnan(runtime) or runtime == -math.inf:
+            problem = "nan"
+            report.n_nan += 1
+        elif require_positive and runtime <= 0:
+            problem = "nonpositive"
+            report.n_nonpositive += 1
+        elif (config.index, runtime) in seen:
+            problem = "duplicate"
+            report.n_duplicate += 1
+        if problem is None:
+            seen.add((config.index, runtime))
+            kept.append((config, runtime))
+        else:
+            report.findings.append(
+                f"row {row_no}: {problem} (runtime={runtime!r})"
+            )
+    report.n_kept = len(kept)
+    if not report.clean and on_invalid == "raise":
+        raise SourceDataError(
+            f"source training data rejected — {report.summary()}", report=report
+        )
+    return kept, report

@@ -99,6 +99,15 @@ class TransferSession:
     ``"RSpb"`` — the prune-then-bias hybrid
     (:func:`~repro.search.biasing.hybrid_search`), which evaluates the
     biased pool ranking gated by the pruning cutoff ``∆``.
+
+    ``guard`` (a :class:`repro.transfer.guard.GuardPolicy`) arms
+    negative-transfer guardrails on the model-guided variants
+    (RSp/RSb/RSpb): each run gets a fresh
+    :class:`~repro.transfer.guard.ModelGuard` that scores the
+    surrogate against target reality and degrades the search —
+    ultimately to plain RS on the shared stream — when transfer turns
+    out to hurt.  ``guard=None`` (default) runs every variant exactly
+    as before.
     """
 
     def __init__(
@@ -118,6 +127,7 @@ class TransferSession:
         variants: tuple[str, ...] = ("RSp", "RSb", "RSpf", "RSbf"),
         evaluator_factory: Callable[[MachineSpec, SimClock], object] | None = None,
         evaluator_wrapper: Callable[[object], object] | None = None,
+        guard=None,
     ) -> None:
         self.kernel = kernel
         self.source = source
@@ -134,6 +144,7 @@ class TransferSession:
         self.variants = variants
         self.evaluator_factory = evaluator_factory
         self.evaluator_wrapper = evaluator_wrapper
+        self.guard = guard
 
     # ------------------------------------------------------------------
     def _threads_for(self, machine: MachineSpec) -> int:
@@ -222,6 +233,7 @@ class TransferSession:
                 nmax=self.nmax,
                 pool_size=self.pool_size,
                 delta_percent=self.delta_percent,
+                guard=self.guard,
             ),
             "RSb": lambda: biased_search(
                 self._evaluator(self.target),
@@ -229,6 +241,8 @@ class TransferSession:
                 surrogate,
                 nmax=self.nmax,
                 pool_size=self.pool_size,
+                guard=self.guard,
+                stream=self._stream() if self.guard is not None else None,
             ),
             "RSpb": lambda: hybrid_search(
                 self._evaluator(self.target),
@@ -237,6 +251,8 @@ class TransferSession:
                 nmax=self.nmax,
                 pool_size=self.pool_size,
                 delta_percent=self.delta_percent,
+                guard=self.guard,
+                stream=self._stream() if self.guard is not None else None,
             ),
             "RSpf": lambda: model_free_pruned_search(
                 self._evaluator(self.target), training, nmax=self.nmax,

@@ -13,11 +13,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ModelError, NotFittedError
+from repro.errors import ModelError, NotFittedError, SourceDataError
 from repro.ml.base import Regressor
 from repro.ml.forest import RandomForestRegressor
 from repro.searchspace.encoding import encoding_cache
 from repro.searchspace.space import Configuration, SearchSpace
+from repro.transfer.sanitize import SanitizationReport, sanitize_training
 
 __all__ = ["Surrogate"]
 
@@ -64,6 +65,7 @@ class Surrogate:
         self.log_target = log_target
         self.fit_seconds = 0.0  # simulated cost of the last fit
         self.n_censored = 0  # censored samples seen by the last fit
+        self.sanitization: SanitizationReport | None = None  # last fit's screen
         self._fitted = False
         # Shared per-space encoding cache plus a last-pool prediction
         # memo (invalidated by fit) — repeated scoring of the same pool
@@ -77,10 +79,21 @@ class Surrogate:
         training: Sequence[tuple[Configuration, float]],
         censored: str = "drop",
         impute_factor: float = 2.0,
+        sanitize: str = "raise",
     ) -> "Surrogate":
         """Fit from ``(configuration, runtime)`` pairs (the set Ta).
 
-        Failed/censored samples — pairs whose runtime is non-finite,
+        Source rows are screened first by
+        :func:`repro.transfer.sanitize.sanitize_training` — NaN/-inf
+        runtimes, non-positive runtimes under a log target,
+        configurations from a foreign space, and exact duplicate rows
+        are structural defects, not measurements.  ``sanitize``
+        selects the policy: ``"raise"`` (default) rejects the whole
+        set with a :class:`~repro.errors.SourceDataError`, ``"drop"``
+        removes the offending rows (the report lands on
+        ``self.sanitization``), ``"off"`` skips the screen.
+
+        Failed/censored samples — pairs whose runtime is ``+inf``,
         as produced by ``SearchTrace.training_data(include_failed=True)``
         on a fault-afflicted trace — are handled per ``censored``:
 
@@ -97,14 +110,37 @@ class Surrogate:
             raise ModelError(f"censored must be 'drop' or 'impute', got {censored!r}")
         if impute_factor < 1.0:
             raise ModelError(f"impute_factor must be >= 1, got {impute_factor}")
+        if sanitize not in ("raise", "drop", "off"):
+            raise ModelError(
+                f"sanitize must be 'raise', 'drop', or 'off', got {sanitize!r}"
+            )
         if not training:
             raise ModelError("cannot fit a surrogate on an empty training set")
+        if sanitize == "off":
+            self.sanitization = None
+            training = list(training)
+        else:
+            training, self.sanitization = sanitize_training(
+                self.space,
+                training,
+                require_positive=self.log_target,
+                on_invalid=sanitize,
+            )
+            if not training:
+                raise SourceDataError(
+                    "no usable source rows: sanitization removed every "
+                    f"training sample ({self.sanitization.summary()})",
+                    report=self.sanitization,
+                )
         y_all = np.array([t for _, t in training], dtype=float)
         finite = np.isfinite(y_all)
         self.n_censored = int(np.sum(~finite))
         if not np.any(finite):
-            raise ModelError(
-                "cannot fit a surrogate: every training sample is censored"
+            raise SourceDataError(
+                "cannot fit a surrogate: every training sample is censored "
+                f"(n={len(training)}, censored={censored!r} has nothing "
+                "finite to drop or impute from)",
+                report=self.sanitization,
             )
         if censored == "drop":
             configs = [c for (c, _), ok in zip(training, finite) if ok]
@@ -144,6 +180,40 @@ class Surrogate:
 
     def predict_one(self, config: Configuration) -> float:
         return float(self.predict([config])[0])
+
+    def predict_std(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Ensemble spread of the learner's prediction, in model space.
+
+        For the default random forest this is the per-tree standard
+        deviation — in *log* space when ``log_target`` — which the
+        guard layer uses to check whether prediction intervals actually
+        cover observed runtimes.  Raises :class:`ModelError` when the
+        learner exposes no ensemble spread (check :attr:`supports_std`).
+        """
+        if not self._fitted:
+            raise NotFittedError("surrogate has not been fitted")
+        fn = getattr(self.learner, "predict_std", None)
+        if not callable(fn):
+            raise ModelError(
+                f"{type(self.learner).__name__} exposes no predict_std"
+            )
+        if len(configs) == 0:
+            return np.empty(0)
+        return fn(self._encoding.encode_many(list(configs)))
+
+    @property
+    def supports_std(self) -> bool:
+        """Whether the learner can report an ensemble spread."""
+        return callable(getattr(self.learner, "predict_std", None))
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/size counters of the shared per-space encoding cache.
+
+        Diagnostic only (process-local, shared across every surrogate
+        on this space) — surfaced by the guard's audit log, never
+        persisted in traces or checkpoints.
+        """
+        return self._encoding.stats()
 
     def predict_seconds(self, n: int) -> float:
         """Simulated wall time of predicting ``n`` configurations."""

@@ -67,3 +67,36 @@ class TestEncodingCache:
         np.testing.assert_array_equal(
             encode_cached(space, pool), space.encode_many(pool)
         )
+
+    def test_row_memo_is_bounded(self, space, pool):
+        cache = EncodingCache(space, max_rows=20)
+        cache.encode_many(pool)  # 50 distinct rows through a 20-row memo
+        assert len(cache._rows) == 20
+        assert cache.row_evictions == 30
+
+    def test_oversized_pool_still_encodes_correctly(self, space, pool):
+        cache = EncodingCache(space, max_rows=20)
+        np.testing.assert_array_equal(
+            cache.encode_many(pool), space.encode_many(pool)
+        )
+        # The evicted rows re-encode transparently on the next call.
+        np.testing.assert_array_equal(
+            cache.encode_many(list(reversed(pool))),
+            space.encode_many(list(reversed(pool))),
+        )
+
+    def test_stats_accessor(self, space, pool):
+        cache = EncodingCache(space, max_pools=2, max_rows=20)
+        cache.encode_many(pool)
+        cache.encode_many(pool)
+        stats = cache.stats()
+        assert stats == {
+            "rows": 20,
+            "max_rows": 20,
+            "pools": 1,
+            "max_pools": 2,
+            "hits": 1,
+            "misses": 1,
+            "row_evictions": 30,
+            "pool_evictions": 0,
+        }

@@ -8,6 +8,7 @@ from repro.machines import get_machine
 from repro.search.result import EvaluationRecord, SearchTrace
 from repro.searchspace import IntegerParameter, SearchSpace
 from repro.transfer import TransferSession, speedups
+from repro.transfer.guard import GuardPolicy
 
 
 def trace_from(space, algorithm, points):
@@ -124,3 +125,50 @@ class TestTransferSession:
         b = TransferSession(**kw).run()
         assert a.report("RSb").performance == b.report("RSb").performance
         assert a.report("RSb").search_time == b.report("RSb").search_time
+
+
+class TestGuardedSession:
+    def test_guarded_session_runs_and_matches_unguarded_on_faithful(self):
+        kw = dict(
+            kernel=get_kernel("lu", n=256),
+            source=get_machine("westmere"),
+            target=get_machine("sandybridge"),
+            nmax=40,
+            pool_size=1500,
+            seed="session-guard",
+            variants=("RSp", "RSb"),
+        )
+        bare = TransferSession(**kw).run()
+        guarded = TransferSession(**kw, guard=GuardPolicy()).run()
+        # A faithful Intel->Intel source at this scale keeps the guard
+        # TRUSTED for RSp, so the guarded trace is bit-identical.
+        assert [r.config.index for r in guarded.traces["RSp"].records] == [
+            r.config.index for r in bare.traces["RSp"].records
+        ]
+        assert guarded.report("RSp").performance == bare.report("RSp").performance
+        # The shared-stream RS baseline is never touched by the guard.
+        assert [r.config.index for r in guarded.rs.records] == [
+            r.config.index for r in bare.rs.records
+        ]
+
+    def test_disabled_guard_is_inert_for_all_variants(self):
+        kw = dict(
+            kernel=get_kernel("lu", n=256),
+            source=get_machine("westmere"),
+            target=get_machine("sandybridge"),
+            nmax=20,
+            pool_size=800,
+            seed="session-guard-off",
+            variants=("RSp", "RSb"),
+        )
+        bare = TransferSession(**kw).run()
+        off = TransferSession(**kw, guard=GuardPolicy.disabled()).run()
+        for variant in ("RSp", "RSb"):
+            assert (
+                off.report(variant).performance
+                == bare.report(variant).performance
+            )
+            assert (
+                off.report(variant).search_time
+                == bare.report(variant).search_time
+            )

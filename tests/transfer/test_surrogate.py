@@ -92,3 +92,23 @@ class TestOverheadModel:
         kernel, data = training
         s = Surrogate(kernel.space).fit(data)
         assert s.predict([]).shape == (0,)
+
+
+class TestCacheStats:
+    def test_stats_track_repeated_prediction(self, training):
+        kernel, data = training
+        s = Surrogate(kernel.space).fit(data)
+        pool_a = [c for c, _ in data[:30]]
+        pool_b = [c for c, _ in data[30:60]]
+        before = s.cache_stats()
+        # Alternate pools so the surrogate's one-slot predict memo cannot
+        # short-circuit the repeat — the hit must come from the cache.
+        s.predict(pool_a)
+        s.predict(pool_b)
+        s.predict(pool_a)
+        after = s.cache_stats()
+        assert after["hits"] >= before["hits"] + 1
+        assert after["rows"] <= after["max_rows"]
+        for key in ("pools", "max_pools", "misses", "row_evictions",
+                    "pool_evictions"):
+            assert key in after
