@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench faults guard chaos report examples clean
+.PHONY: install test lint bench faults guard chaos service report examples clean
 
 # Chaos knobs for `make chaos` (override on the command line).
 CHAOS_RATE ?= 0.5
@@ -23,13 +23,15 @@ test-fast:
 lint:
 	$(PYTHON) -m repro.devtools.lint
 
-# --benchmark-only deselects the plain perf-regression suite, so run
-# it explicitly; it writes benchmarks/results/BENCH_ml.json and fails
-# on >25% regressions vs the committed baseline (override with
-# REPRO_BENCH_ALLOW_REGRESSION=1 when rebaselining on new hardware).
+# --benchmark-only deselects the plain perf-regression suites, so run
+# them explicitly; they write benchmarks/results/BENCH_ml.json and
+# BENCH_service.json and fail on >25% regressions vs the committed
+# baselines (override with REPRO_BENCH_ALLOW_REGRESSION=1 when
+# rebaselining on new hardware).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 	$(PYTHON) -m pytest benchmarks/test_perf_ml.py -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_service.py -q -s
 
 faults:
 	$(PYTHON) -m pytest -x -q benchmarks/test_ablations.py::test_fault_ablation --benchmark-only
@@ -49,6 +51,13 @@ chaos:
 	REPRO_CHAOS_RATE=$(CHAOS_RATE) REPRO_CHAOS_SEED=$(CHAOS_SEED) \
 		$(PYTHON) -m pytest -x -q tests/exec
 	$(PYTHON) -m pytest -x -q tests/
+
+# The tuning-service robustness suite: multi-tenant load (latency
+# percentiles vs the committed BENCH_service.json baseline) plus the
+# SIGKILL/recovery and fault-injection chaos tests.
+service:
+	$(PYTHON) -m pytest -x -q tests/service
+	$(PYTHON) -m pytest benchmarks/test_perf_service.py -q -s
 
 report:
 	$(PYTHON) -m repro report --output EXPERIMENTS.generated.md

@@ -1,0 +1,217 @@
+"""Load benchmark for the tuning service (BENCH_service.json).
+
+Drives thousands of interleaved requests from eight tenants through
+the dict transport against a service instance — session churn, job
+submission under quota pressure, event polling, dispatch — and records
+request-latency percentiles to ``benchmarks/results/BENCH_service.json``.
+The workload runs three times against fresh service roots and each
+gated metric is the **best across runs** (fastest latency, highest
+throughput) — the standard noise-robust regression statistic: random
+scheduler hiccups inflate individual runs but never deflate the best
+one, while a genuine slowdown raises all three.  The committed report is a regression baseline:
+``make bench`` fails when a tracked metric slows down more than 25%
+(set ``REPRO_BENCH_ALLOW_REGRESSION=1`` to regenerate on other
+hardware).
+
+Beyond timing, every run asserts the service's load contract:
+
+* every request is answered — accepted requests reach a journaled
+  terminal state, rejected ones carry a structured reason and
+  ``retry_after`` (nothing is ever silently dropped);
+* memory and disk stay bounded under churn: the event buffer is capped
+  and the store journal is rotated by compaction.
+
+Run via ``make service`` / ``make bench`` or directly:
+``PYTHONPATH=src python -m pytest benchmarks/test_perf_service.py -q -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.perf.benchreport import (
+    ALLOW_REGRESSION_ENV,
+    find_regressions,
+    load_report,
+    make_entry,
+    write_report,
+)
+from repro.service import ServiceHandler, TenantQuota, TuningService
+
+REPORT_NAME = "BENCH_service.json"
+#: Entries checked against the committed report by the 25% gate.
+TRACKED = ("request_p50", "request_p99", "submit_p99", "pump_throughput")
+
+N_TENANTS = 8
+N_REQUESTS = 1_200  # per run; three runs = 3600 interleaved requests
+N_RUNS = 3
+STORE_MAX_BYTES = 256 * 1024
+
+
+@pytest.fixture
+def bench_root(tmp_path):
+    """Service roots on tmpfs when available.
+
+    Request latency is fsync-bound; on spinning/virtio storage the
+    fsync p99 swings by milliseconds with unrelated system load, which
+    would drown the service-layer overhead this suite tracks.  tmpfs
+    makes the journal writes deterministic (~10us) so the regression
+    gate measures the code, not the disk scheduler."""
+    import shutil
+    import tempfile
+
+    if os.path.isdir("/dev/shm"):
+        root = tempfile.mkdtemp(prefix="repro-bench-svc-", dir="/dev/shm")
+        yield Path(root)
+        shutil.rmtree(root, ignore_errors=True)
+    else:
+        yield tmp_path
+
+
+def _run_workload(root):
+    """One full multi-tenant load pass; returns the run's metrics."""
+    svc = TuningService(
+        root,
+        n_workers=1,  # serial executor: measures the service layer itself
+        batch_size=16,
+        max_total_queued=48,
+        default_quota=TenantQuota(max_live_sessions=2, max_queued_jobs=8),
+        store_max_bytes=STORE_MAX_BYTES,
+    ).open()
+    handler = ServiceHandler(svc)
+    tenants = [f"tenant-{i}" for i in range(N_TENANTS)]
+    sessions = {
+        t: handler.handle({"op": "create_session", "tenant": t})
+        ["session"]["session_id"]
+        for t in tenants
+    }
+
+    latencies: list[float] = []
+    submit_latencies: list[float] = []
+    submitted: list[str] = []
+    rejections: list[dict] = []
+    cursors = {t: 0 for t in tenants}
+
+    rng = np.random.default_rng(0)
+    ops = rng.choice(["submit", "events", "job", "stats"], size=N_REQUESTS,
+                     p=[0.5, 0.3, 0.15, 0.05])
+    for i, op in enumerate(ops):
+        tenant = tenants[i % N_TENANTS]
+        sid = sessions[tenant]
+        if op == "submit":
+            request = {
+                "op": "submit", "session": sid, "tenant": tenant,
+                "payload": {"kind": "probe", "seed": i, "work": 8},
+            }
+        elif op == "events":
+            request = {"op": "events", "session": sid,
+                       "after": cursors[tenant]}
+        elif op == "job" and submitted:
+            request = {"op": "job", "job": submitted[-1]}
+        else:
+            request = {"op": "stats"}
+        start = time.perf_counter()
+        response = handler.handle(request)
+        elapsed = time.perf_counter() - start
+        latencies.append(elapsed)
+        if request["op"] == "submit":
+            submit_latencies.append(elapsed)
+            if response["ok"]:
+                submitted.append(response["job"]["job_id"])
+            else:
+                rejections.append(response["error"])
+        elif request["op"] == "events" and response["ok"] and response["events"]:
+            cursors[tenant] = response["events"][-1]["seq"]
+        # Interleave dispatch with request traffic, as a live service
+        # pump thread would.
+        if i % 40 == 39:
+            svc.pump(max_batches=1)
+
+    # Drain everything, timing dispatch throughput.
+    drain_start = time.perf_counter()
+    drained = 0
+    while True:
+        n = svc.pump()
+        drained += n
+        if n == 0:
+            break
+    drain_elapsed = time.perf_counter() - drain_start
+
+    # -- per-run contract assertions ------------------------------------
+    assert len(latencies) == N_REQUESTS
+    # Quota pressure produced rejections, every one structured.
+    assert rejections, "expected quota/queue rejections under this load"
+    for error in rejections:
+        assert error["reason"] in ("quota-exceeded", "queue-full", "overloaded")
+        assert error["retry_after"] > 0
+    # Nothing silently dropped: every accepted job reached a journaled
+    # terminal state.
+    assert all(svc.job(jid).terminal for jid in submitted)
+    completed = sum(
+        1 for jid in submitted if svc.job(jid).state == "completed"
+    )
+    assert completed > 0
+    # Bounded memory and disk under churn.
+    assert len(svc.store.events) <= svc.store.events.maxlen
+    assert svc.store.size_bytes() < 4 * STORE_MAX_BYTES
+    assert svc.stats()["ok"] is True
+
+    throughput = drained / drain_elapsed if drain_elapsed > 0 else float("inf")
+    return {
+        "request_p50": float(np.percentile(latencies, 50)),
+        "request_p99": float(np.percentile(latencies, 99)),
+        "submit_p99": float(np.percentile(submit_latencies, 99)),
+        "throughput": throughput,
+        "accepted": len(submitted),
+        "rejected": len(rejections),
+        "completed": completed,
+    }
+
+
+def test_service_load(results_dir, bench_root):
+    runs = [_run_workload(bench_root / f"svc{i}") for i in range(N_RUNS)]
+    best = lambda key: float(min(r[key] for r in runs))  # noqa: E731
+
+    throughput = max(r["throughput"] for r in runs)
+    entries = [
+        make_entry("request_p50", best("request_p50"),
+                   n_requests=N_REQUESTS, n_tenants=N_TENANTS, runs=N_RUNS),
+        make_entry("request_p99", best("request_p99"),
+                   n_requests=N_REQUESTS, n_tenants=N_TENANTS, runs=N_RUNS),
+        make_entry("submit_p99", best("submit_p99"), runs=N_RUNS),
+        # Throughput is gated via its inverse so "bigger seconds = worse"
+        # holds for every tracked entry.
+        make_entry("pump_throughput", 1.0 / throughput,
+                   jobs_per_second=round(throughput, 1)),
+    ]
+
+    path = results_dir / REPORT_NAME
+    committed = load_report(str(path))
+    write_report(
+        str(path), entries, suite="BENCH_service",
+        accepted=sum(r["accepted"] for r in runs),
+        rejected=sum(r["rejected"] for r in runs),
+        completed=sum(r["completed"] for r in runs),
+    )
+
+    lines = ["", f"{'entry':<20} {'value':>12}",
+             f"{'request_p50':<20} {best('request_p50') * 1e6:>10.0f}us",
+             f"{'request_p99':<20} {best('request_p99') * 1e6:>10.0f}us",
+             f"{'submit_p99':<20} {best('submit_p99') * 1e6:>10.0f}us",
+             f"{'pump_throughput':<20} {throughput:>9.0f}/s",
+             f"{'accepted':<20} {sum(r['accepted'] for r in runs):>12}",
+             f"{'rejected':<20} {sum(r['rejected'] for r in runs):>12}",
+             f"{'completed':<20} {sum(r['completed'] for r in runs):>12}"]
+    print("\n".join(lines))
+
+    regressions = find_regressions(entries, committed, TRACKED)
+    if regressions and os.environ.get(ALLOW_REGRESSION_ENV) != "1":
+        pytest.fail(
+            "performance regression vs committed BENCH_service.json:\n  "
+            + "\n  ".join(regressions)
+        )

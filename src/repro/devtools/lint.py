@@ -243,6 +243,7 @@ DEAD_CODE_SUBPACKAGES = (
     f"{PACKAGE}.search",
     f"{PACKAGE}.transfer",
     f"{PACKAGE}.reliability",
+    f"{PACKAGE}.service",
 )
 
 
@@ -343,7 +344,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"lint: {len(errors)} finding(s)")
         return 1
     print("lint: clean (import graph acyclic, no hidden internal imports, "
-          "no dead search/transfer/reliability code)")
+          "no dead search/transfer/reliability/service code)")
     return 0
 
 

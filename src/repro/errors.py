@@ -168,6 +168,25 @@ class CheckpointError(ReproError):
     """A search checkpoint could not be written, read, or applied."""
 
 
+class JournalWriteError(CheckpointError):
+    """A durable journal append or rewrite was refused by the filesystem.
+
+    Disk full, permission lost, a dying device: the record was **not**
+    acknowledged (callers must not apply the state change it carried),
+    but the journal itself stays recoverable — a partial write is a
+    torn tail that the next successful append repairs and every reader
+    drops.  ``errno`` preserves the OS-level cause so callers can
+    distinguish transient pressure (``ENOSPC``) from permanent loss
+    (``EACCES``/``EROFS``) when deciding whether to retry.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 errno: int | None = None) -> None:
+        self.path = path
+        self.errno = errno
+        super().__init__(message)
+
+
 class RegistryCorruptionError(CheckpointError, EvaluationFailure):
     """A run-registry journal contains a record that cannot be decoded.
 

@@ -29,22 +29,27 @@ uninterrupted run.  Env knobs: ``REPRO_WORKERS`` (fleet size),
 from repro.exec.executor import (
     CellFailure,
     ChaosConfig,
+    ExecutorStats,
     GridOutcome,
     SupervisedExecutor,
     run_grid,
 )
 from repro.exec.fingerprint import canonical, canonical_json, cell_fingerprint, code_version
-from repro.exec.registry import RunRecord, RunRegistry, resume_enabled
+from repro.exec.journal import JsonlJournal
+from repro.exec.registry import CompactionStats, RunRecord, RunRegistry, resume_enabled
 from repro.exec.watchdog import Overdue, Watchdog
 
 __all__ = [
     "SupervisedExecutor",
     "CellFailure",
     "ChaosConfig",
+    "ExecutorStats",
     "GridOutcome",
     "run_grid",
+    "JsonlJournal",
     "RunRegistry",
     "RunRecord",
+    "CompactionStats",
     "resume_enabled",
     "cell_fingerprint",
     "canonical",

@@ -62,6 +62,7 @@ from repro.utils.rng import stable_hash
 __all__ = [
     "CellFailure",
     "ChaosConfig",
+    "ExecutorStats",
     "SupervisedExecutor",
     "GridOutcome",
     "run_grid",
@@ -264,6 +265,26 @@ class _WorkerHandle:
 _UNSET = object()
 
 
+@dataclass(frozen=True)
+class ExecutorStats:
+    """A point-in-time snapshot of one executor's supervision state.
+
+    ``live_workers``/``busy_workers``/``queue_depth`` describe the
+    currently running ``map`` call (all zero between calls); the
+    remaining counters are cumulative over the executor's lifetime —
+    the numbers a service health endpoint reports.
+    """
+
+    live_workers: int
+    busy_workers: int
+    queue_depth: int
+    tasks_completed: int
+    retries: int
+    quarantined: int
+    worker_deaths: int
+    timeouts: int
+
+
 class SupervisedExecutor:
     """Order-preserving parallel map with worker supervision.
 
@@ -295,6 +316,7 @@ class SupervisedExecutor:
         chaos: ChaosConfig | None = None,
         poll_interval: float = 0.05,
         start_method: str | None = None,
+        drain_grace: float = 0.25,
     ) -> None:
         if max_task_retries < 0:
             raise ValueError(f"max_task_retries must be >= 0, got {max_task_retries}")
@@ -309,11 +331,44 @@ class SupervisedExecutor:
         self.max_backoff_seconds = max_backoff_seconds
         self.chaos = chaos
         self.poll_interval = poll_interval
+        self.drain_grace = drain_grace
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             )
         self._ctx = mp.get_context(start_method)
+        # Lifetime counters (cumulative across map calls) plus a handle
+        # on the currently running supervision, for stats().
+        self._tasks_completed = 0
+        self._retries = 0
+        self._quarantined = 0
+        self._worker_deaths = 0
+        self._timeouts = 0
+        self._active: "_Supervision | None" = None
+
+    def stats(self) -> ExecutorStats:
+        """A snapshot for health endpoints; safe to call from any thread.
+
+        The live numbers come from the ``map`` call running right now
+        (if any); the counters survive across calls.
+        """
+        active = self._active
+        live = busy = depth = 0
+        if active is not None:
+            workers = list(active.workers.values())
+            live = sum(1 for w in workers if w.proc.is_alive())
+            busy = sum(1 for w in workers if w.task_id is not None)
+            depth = len(active.ready) + len(active.delayed)
+        return ExecutorStats(
+            live_workers=live,
+            busy_workers=busy,
+            queue_depth=depth,
+            tasks_completed=self._tasks_completed,
+            retries=self._retries,
+            quarantined=self._quarantined,
+            worker_deaths=self._worker_deaths,
+            timeouts=self._timeouts,
+        )
 
     # ------------------------------------------------------------------
     def map(
@@ -369,6 +424,7 @@ class SupervisedExecutor:
             except Exception as exc:
                 if on_failure == "raise":
                     raise
+                self._quarantined += 1
                 results.append(
                     CellFailure(
                         index=index,
@@ -382,6 +438,7 @@ class SupervisedExecutor:
                 continue
             if on_result is not None:
                 on_result(index, result, 1)
+            self._tasks_completed += 1
             results.append(result)
         return results
 
@@ -425,11 +482,13 @@ class _Supervision:
                 prev_term = signal.signal(signal.SIGTERM, _on_term)
             except (ValueError, OSError):  # pragma: no cover - non-main ctx
                 prev_term = None
+        self.ex._active = self
         try:
             for _ in range(self.n_workers):
                 self._spawn()
             self._loop()
         finally:
+            self.ex._active = None
             self._teardown()
             if prev_term is not None:
                 signal.signal(signal.SIGTERM, prev_term)
@@ -456,6 +515,7 @@ class _Supervision:
         return handle
 
     def _teardown(self) -> None:
+        self._salvage_in_flight()
         for w in self.workers.values():
             try:
                 w.conn.send(None)
@@ -473,6 +533,33 @@ class _Supervision:
             except OSError:
                 pass
         self.workers.clear()
+
+    def _salvage_in_flight(self) -> None:
+        """Drain completed-but-unreported results before killing workers.
+
+        A SIGTERM (or the first error in raise mode) exits the main
+        loop at an arbitrary point: a worker that finished its task in
+        the meantime has its ``"ok"`` sitting unread in the pipe.
+        Dropping it would lose a *completed* cell — the journaling
+        ``on_result`` hook never fired — so teardown first drains every
+        busy worker's connection, waiting up to ``drain_grace`` seconds
+        for messages already in flight.  Best-effort by design: a
+        worker still mid-task after the grace simply re-runs its cell
+        on the next invocation.
+        """
+        deadline = time.monotonic() + self.ex.drain_grace
+        for w in list(self.workers.values()):
+            if w.task_id is None:
+                continue
+            try:
+                while w.task_id is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not w.conn.poll(max(0.0, remaining)):
+                        break
+                    self._drain(w)
+            except Exception:
+                # Teardown must finish; an unjournaled cell re-runs.
+                continue
 
     # -- main loop ------------------------------------------------------
     def _loop(self) -> None:
@@ -563,6 +650,7 @@ class _Supervision:
             self.results[index] = result
             if self.on_result is not None:
                 self.on_result(index, result, task.failures + 1)
+        self.ex._tasks_completed += len(task.chunk)
         self.unfinished -= 1
 
     def _task_errored(self, w, task, index, name, message, payload, tb) -> None:
@@ -582,6 +670,7 @@ class _Supervision:
             self.pending_exc = exc
             return
         key = task.keys[[i for i, _ in task.chunk].index(index)]
+        self.ex._quarantined += 1
         self.results[index] = CellFailure(
             index=index,
             key=key,
@@ -595,6 +684,7 @@ class _Supervision:
     def _handle_death(self, w: _WorkerHandle) -> None:
         exitcode = w.proc.exitcode
         task_id = w.task_id
+        self.ex._worker_deaths += 1
         self._discard_worker(w)
         if task_id is not None:
             self._operational_failure(
@@ -620,6 +710,7 @@ class _Supervision:
             if w.task_id != verdict.task_id:
                 continue
             task_id = w.task_id
+            self.ex._timeouts += 1
             w.proc.kill()
             w.proc.join(timeout=5.0)
             self._discard_worker(w)
@@ -661,6 +752,7 @@ class _Supervision:
         """Worker death or timeout: retry with backoff, then give up."""
         task.failures += 1
         if task.failures <= self.ex.max_task_retries:
+            self.ex._retries += 1
             backoff = min(
                 self.ex.retry_backoff_seconds
                 * self.ex.retry_backoff_factor ** (task.failures - 1),
@@ -673,6 +765,7 @@ class _Supervision:
         if self.on_failure == "raise":
             self.pending_exc = exc
             return
+        self.ex._quarantined += len(task.chunk)
         for (index, _item), key in zip(task.chunk, task.keys):
             self.results[index] = CellFailure(
                 index=index,

@@ -1,0 +1,191 @@
+"""The shared append-only JSONL journal primitive.
+
+:class:`RunRegistry` (grid-cell results) and the service layer's
+:class:`~repro.service.store.SessionStore` (session/job lifecycle) both
+persist as fsync'd JSONL journals with the same durability contract:
+
+* **append** writes one full line with a single ``write`` call, flushes,
+  and ``fsync``'s before returning — after a crash the file holds every
+  acknowledged record plus at most one torn final line;
+* **torn-tail repair** truncates a trailing partial write back to the
+  last newline, so a post-crash append never glues onto a torn line;
+* **rewrite** (the compaction primitive) replaces the journal
+  atomically: the new content is written to a temporary sibling,
+  fsync'd, and ``os.replace``'d over the journal — a crash at any point
+  leaves either the complete old journal or the complete new one, never
+  a mix, and a stale temporary is cleaned up on the next append/rewrite;
+* **write failures** (disk full, permission lost, dying disk) surface
+  as structured :class:`~repro.errors.JournalWriteError` carrying the
+  path and errno — the caller knows the record was *not* acknowledged
+  and the journal itself is still recoverable (a partial write is a
+  torn tail, repaired on the next append and dropped by readers).
+
+This module owns only bytes-on-disk mechanics; record schemas,
+checksums, and replay semantics belong to the callers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Iterator
+
+from repro.errors import JournalWriteError
+
+__all__ = ["JsonlJournal"]
+
+#: Suffix of the temporary sibling a rewrite stages into.
+_REWRITE_SUFFIX = ".rewrite.tmp"
+
+
+class JsonlJournal:
+    """One append-only JSONL file with crash-safe append and rewrite."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def size_bytes(self) -> int:
+        """Current journal size (0 when absent)."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    @property
+    def rewrite_path(self) -> str:
+        return self.path + _REWRITE_SUFFIX
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def repair_tail(self) -> None:
+        """Truncate a torn trailing write so the journal ends on a newline.
+
+        Without this, appending after a crash would glue the new record
+        onto the torn partial line, turning a recoverable torn tail into
+        unrecoverable mid-file corruption.  Fast path: one byte read.
+        """
+        try:
+            with open(self.path, "rb+") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if size == 0:
+                    return
+                fh.seek(size - 1)
+                if fh.read(1) == b"\n":
+                    return
+                fh.seek(0)
+                blob = fh.read()
+                fh.truncate(blob.rfind(b"\n") + 1)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except FileNotFoundError:
+            return
+
+    def _discard_stale_rewrite(self) -> None:
+        """Remove a temporary left by a rewrite that never completed.
+
+        ``os.replace`` is atomic, so a crash mid-rewrite leaves the old
+        journal intact plus (possibly) a partial temporary — which must
+        never be read and must not accumulate.
+        """
+        try:
+            os.remove(self.rewrite_path)
+        except OSError:
+            pass
+
+    def append_line(self, line: str) -> None:
+        """Durably append one JSON line (single write + flush + fsync).
+
+        Raises :class:`JournalWriteError` when the filesystem refuses
+        the write; the record is then *not* acknowledged, and any
+        partial bytes form a torn tail repaired by the next append and
+        ignored by readers.
+        """
+        data = (line + "\n").encode("utf-8")
+        directory = os.path.dirname(self.path)
+        try:
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._discard_stale_rewrite()
+            try:
+                self.repair_tail()
+            except OSError:
+                pass  # best-effort; the caller's load() flags real damage
+            with open(self.path, "ab") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise JournalWriteError(
+                f"journal {self.path!r}: append failed: {exc}",
+                path=self.path,
+                errno=exc.errno,
+            ) from exc
+
+    def append(self, obj: dict) -> None:
+        """Durably append one record as canonical one-line JSON."""
+        self.append_line(json.dumps(obj, sort_keys=True, separators=(",", ":")))
+
+    def rewrite(self, lines: Iterable[str]) -> None:
+        """Atomically replace the journal's content with ``lines``.
+
+        The snapshot-then-swap compaction primitive: stage the new
+        content in a temporary sibling, fsync it, then ``os.replace`` it
+        over the journal (atomic on POSIX), and fsync the directory so
+        the rename itself is durable.  A crash before the replace leaves
+        the old journal untouched; after it, the new one is complete.
+        """
+        tmp = self.rewrite_path
+        directory = os.path.dirname(self.path)
+        try:
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                for line in lines:
+                    fh.write((line + "\n").encode("utf-8"))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            if directory:
+                try:
+                    dir_fd = os.open(directory, os.O_RDONLY)
+                except OSError:
+                    dir_fd = None
+                if dir_fd is not None:
+                    try:
+                        os.fsync(dir_fd)
+                    finally:
+                        os.close(dir_fd)
+        except OSError as exc:
+            self._discard_stale_rewrite()
+            raise JournalWriteError(
+                f"journal {self.path!r}: rewrite failed: {exc}",
+                path=self.path,
+                errno=exc.errno,
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def iter_lines(self) -> Iterator[tuple[int, bytes, bool]]:
+        """Yield ``(byte_offset, line, is_final)`` for every journal line."""
+        with open(self.path, "rb") as fh:
+            blob = fh.read()
+        offset = 0
+        segments = blob.split(b"\n")
+        # A well-formed journal ends with a newline, so the final split
+        # segment is empty; anything else is a torn trailing write.
+        for i, segment in enumerate(segments):
+            if segment:
+                yield offset, segment, i == len(segments) - 1
+            offset += len(segment) + 1
+
+    def clear(self) -> None:
+        """Delete the journal and any stale rewrite temporary."""
+        self._discard_stale_rewrite()
+        if self.exists():
+            os.remove(self.path)

@@ -17,6 +17,16 @@ Records are keyed by the deterministic cell fingerprint
 (:mod:`repro.exec.fingerprint`); completed cells carry their result as
 a base64 pickle with a SHA-256 checksum, so resuming a grid
 re-materializes bit-identical objects without re-running anything.
+
+Long-lived journals (the service layer appends for the lifetime of a
+process, not one grid) are kept bounded by **compaction**:
+:meth:`RunRegistry.compact` rewrites the journal down to the latest
+record per fingerprint via the atomic snapshot-then-swap primitive of
+:class:`~repro.exec.journal.JsonlJournal`, and
+:meth:`RunRegistry.maybe_compact` rotates automatically past a size
+threshold.  A crash mid-compaction leaves the old journal intact (the
+snapshot is staged in a temporary sibling and ``os.replace``'d), so
+recovery never depends on a compaction having finished.
 """
 
 from __future__ import annotations
@@ -32,8 +42,15 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.errors import RegistryCorruptionError
+from repro.exec.journal import JsonlJournal
 
-__all__ = ["RECORD_VERSION", "RunRecord", "RunRegistry", "resume_enabled"]
+__all__ = [
+    "RECORD_VERSION",
+    "CompactionStats",
+    "RunRecord",
+    "RunRegistry",
+    "resume_enabled",
+]
 
 RECORD_VERSION = 1
 
@@ -146,56 +163,50 @@ class RegistryState:
         return self.completed.get(fingerprint) or self.failed.get(fingerprint)
 
 
+@dataclass(frozen=True)
+class CompactionStats:
+    """What one :meth:`RunRegistry.compact` call did."""
+
+    records_before: int
+    records_after: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def dropped(self) -> int:
+        return self.records_before - self.records_after
+
+
 class RunRegistry:
     """Append-only JSONL journal of grid-cell outcomes at one path."""
 
     def __init__(self, path) -> None:
         self.path = os.fspath(path)
+        self._journal = JsonlJournal(self.path)
 
     def exists(self) -> bool:
-        return os.path.exists(self.path)
+        return self._journal.exists()
+
+    def size_bytes(self) -> int:
+        """Current journal size in bytes (0 when absent)."""
+        return self._journal.size_bytes()
 
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
     def _repair_tail(self) -> None:
-        """Truncate a torn trailing write so the journal ends on a newline.
-
-        Without this, appending after a crash would glue the new record
-        onto the torn partial line, turning a recoverable torn tail into
-        unrecoverable mid-file corruption.  Fast path: one byte read.
-        """
-        try:
-            with open(self.path, "rb+") as fh:
-                fh.seek(0, os.SEEK_END)
-                size = fh.tell()
-                if size == 0:
-                    return
-                fh.seek(size - 1)
-                if fh.read(1) == b"\n":
-                    return
-                fh.seek(0)
-                blob = fh.read()
-                fh.truncate(blob.rfind(b"\n") + 1)
-                fh.flush()
-                os.fsync(fh.fileno())
-        except FileNotFoundError:
-            return
+        """Truncate a torn trailing write so the journal ends on a newline."""
+        self._journal.repair_tail()
 
     def append(self, record: RunRecord) -> None:
-        """Durably append one record (single write + flush + fsync)."""
-        line = (_record_to_json(record) + "\n").encode("utf-8")
-        directory = os.path.dirname(self.path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        try:
-            self._repair_tail()
-        except OSError:
-            pass  # best-effort; load() raises if real damage remains
-        with open(self.path, "ab") as fh:
-            fh.write(line)
-            fh.flush()
-            os.fsync(fh.fileno())
+        """Durably append one record (single write + flush + fsync).
+
+        Raises :class:`~repro.errors.JournalWriteError` when the
+        filesystem refuses the write; the record is then **not**
+        acknowledged and no torn state is left behind that a later
+        append or load cannot repair.
+        """
+        self._journal.append_line(_record_to_json(record))
 
     def mark_completed(
         self,
@@ -248,16 +259,7 @@ class RunRegistry:
     # ------------------------------------------------------------------
     def _iter_lines(self) -> Iterator[tuple[int, bytes, bool]]:
         """Yield ``(byte_offset, line, is_final)`` for every journal line."""
-        with open(self.path, "rb") as fh:
-            blob = fh.read()
-        offset = 0
-        segments = blob.split(b"\n")
-        # A well-formed journal ends with a newline, so the final split
-        # segment is empty; anything else is a torn trailing write.
-        for i, segment in enumerate(segments):
-            if segment:
-                yield offset, segment, i == len(segments) - 1
-            offset += len(segment) + 1
+        return self._journal.iter_lines()
 
     def load(self) -> RegistryState:
         """Replay the journal into its latest per-fingerprint state.
@@ -308,5 +310,47 @@ class RunRegistry:
 
     def clear(self) -> None:
         """Delete the journal (a fresh grid starts from nothing)."""
-        if self.exists():
-            os.remove(self.path)
+        self._journal.clear()
+
+    # ------------------------------------------------------------------
+    # Compaction / rotation
+    # ------------------------------------------------------------------
+    def compact(self) -> CompactionStats:
+        """Rewrite the journal down to the latest record per fingerprint.
+
+        Long-lived journals accumulate superseded records (failures
+        later completed, re-run cells, service job churn); compaction
+        replays the journal and atomically replaces it with one record
+        per fingerprint — completed records first, then still-standing
+        failures, both in stable fingerprint order.  The swap goes
+        through :meth:`JsonlJournal.rewrite` (snapshot into a temporary,
+        fsync, ``os.replace``), so a crash at any point leaves either
+        the full old journal or the full compacted one; a stale
+        temporary from an interrupted compaction is discarded on the
+        next append or compaction and never read.
+        """
+        bytes_before = self.size_bytes()
+        state = self.load()
+        records = [
+            state.completed[fp] for fp in sorted(state.completed)
+        ] + [
+            state.failed[fp] for fp in sorted(state.failed)
+        ]
+        self._journal.rewrite(_record_to_json(r) for r in records)
+        return CompactionStats(
+            records_before=state.n_records,
+            records_after=len(records),
+            bytes_before=bytes_before,
+            bytes_after=self.size_bytes(),
+        )
+
+    def maybe_compact(self, max_bytes: int) -> CompactionStats | None:
+        """Compact when the journal exceeds ``max_bytes`` (rotation).
+
+        The size check is one ``stat`` call, so callers can invoke this
+        after every append; returns the stats when a compaction ran,
+        ``None`` otherwise.
+        """
+        if max_bytes <= 0 or self.size_bytes() <= max_bytes:
+            return None
+        return self.compact()

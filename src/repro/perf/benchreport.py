@@ -70,12 +70,13 @@ def make_entry(
     return entry
 
 
-def write_report(path: str, entries: Sequence[dict], **context: object) -> dict:
+def write_report(path: str, entries: Sequence[dict],
+                 suite: str = "BENCH_ml", **context: object) -> dict:
     """Write entries plus environment context; returns the report."""
     from repro.ml import _native
 
     report = {
-        "suite": "BENCH_ml",
+        "suite": suite,
         "context": {
             "python": platform.python_version(),
             "numpy": np.__version__,

@@ -1,0 +1,113 @@
+"""Structured errors of the service layer.
+
+Two families:
+
+* **Admission errors** (:class:`AdmissionError` and subclasses) are the
+  backpressure surface: every rejected request carries a machine-
+  readable ``reason`` and a ``retry_after`` hint (seconds), so a client
+  under quota pressure or service overload knows *when* to come back
+  instead of hammering.  Nothing is ever dropped silently — a request
+  either changes journaled state or raises one of these.
+* **Lookup/state errors** (:class:`SessionNotFoundError`, ...) are
+  plain caller mistakes: wrong id, operating on a closed session.
+
+``to_payload()`` renders any service error into the JSON shape the
+transport layer returns, keeping the wire format in one place.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ServiceError",
+    "AdmissionError",
+    "QuotaExceededError",
+    "QueueFullError",
+    "ServiceOverloadedError",
+    "SessionNotFoundError",
+    "SessionClosedError",
+    "JobNotFoundError",
+]
+
+
+class ServiceError(ReproError):
+    """Base class for every error raised by the tuning service."""
+
+    #: Stable machine-readable reason code (subclasses override).
+    reason = "service-error"
+
+    def to_payload(self) -> dict:
+        """The JSON-safe error body the transport layer returns."""
+        payload: dict = {
+            "error": type(self).__name__,
+            "reason": self.reason,
+            "message": str(self),
+        }
+        retry_after = getattr(self, "retry_after", None)
+        if retry_after is not None:
+            payload["retry_after"] = float(retry_after)
+        tenant = getattr(self, "tenant", None)
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return payload
+
+
+class AdmissionError(ServiceError):
+    """A request was rejected by admission control — structured, never
+    silent.
+
+    ``retry_after`` is the service's backoff hint in seconds (the
+    ``Retry-After`` header over HTTP); ``tenant`` names whose quota or
+    priority lost the admission decision.
+    """
+
+    reason = "rejected"
+
+    def __init__(self, message: str, retry_after: float = 1.0,
+                 tenant: str | None = None) -> None:
+        self.retry_after = float(retry_after)
+        self.tenant = tenant
+        super().__init__(message)
+
+
+class QuotaExceededError(AdmissionError):
+    """A per-tenant quota (live sessions, queued jobs, eval budget) is
+    exhausted; the tenant must finish or cancel work before submitting
+    more."""
+
+    reason = "quota-exceeded"
+
+
+class QueueFullError(AdmissionError):
+    """The global job queue is at capacity and the request did not
+    outrank any queued work; resubmit after ``retry_after``."""
+
+    reason = "queue-full"
+
+
+class ServiceOverloadedError(AdmissionError):
+    """The service is degraded (journal writes failing, shutdown in
+    progress) and is shedding load rather than risking state it cannot
+    persist."""
+
+    reason = "overloaded"
+
+
+class SessionNotFoundError(ServiceError):
+    """No session with the given id (or it belongs to another tenant)."""
+
+    reason = "session-not-found"
+
+
+class SessionClosedError(ServiceError):
+    """The session exists but is cancelled/closed; no further
+    submissions are accepted."""
+
+    reason = "session-closed"
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the given id in this session."""
+
+    reason = "job-not-found"

@@ -1,0 +1,204 @@
+"""Domain records of the service layer: tenants, sessions, jobs, events.
+
+Everything here is a plain dataclass with a JSON-safe ``to_wire()`` /
+``from_wire()`` pair — the same shape is journaled by the
+:class:`~repro.service.store.SessionStore`, replayed on recovery, and
+returned over the transport, so what a client sees is exactly what
+crash recovery rebuilds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "TenantQuota",
+    "SessionRecord",
+    "JobRecord",
+    "Event",
+    "SESSION_OPEN",
+    "SESSION_CANCELLED",
+    "SESSION_CLOSED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_COMPLETED",
+    "JOB_FAILED",
+    "JOB_CANCELLED",
+    "JOB_EXPIRED",
+    "JOB_SHED",
+    "JOB_TERMINAL_STATES",
+]
+
+# Session lifecycle.
+SESSION_OPEN = "open"
+SESSION_CANCELLED = "cancelled"
+SESSION_CLOSED = "closed"
+
+# Job lifecycle.  Terminal states are final: recovery never resurrects
+# them, clients can stop polling.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_COMPLETED = "completed"
+JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+JOB_EXPIRED = "expired"  # deadline passed before the job ran
+JOB_SHED = "shed"  # evicted under overload in favour of higher priority
+
+JOB_TERMINAL_STATES = frozenset(
+    {JOB_COMPLETED, JOB_FAILED, JOB_CANCELLED, JOB_EXPIRED, JOB_SHED}
+)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    ``eval_budget`` bounds the *total* simulated evaluations a tenant
+    may spend across all jobs (queued + running + completed); ``None``
+    is unlimited.  ``priority`` orders tenants under overload — higher
+    wins dispatch order and survives shedding longer.
+    """
+
+    max_live_sessions: int = 4
+    max_queued_jobs: int = 16
+    eval_budget: int | None = None
+    priority: int = 0
+
+    def to_wire(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "TenantQuota":
+        return cls(**data)
+
+
+@dataclass
+class SessionRecord:
+    """One tenant session: the unit of attachment and quota accounting."""
+
+    session_id: str
+    tenant: str
+    state: str = SESSION_OPEN
+    attached: bool = True
+    meta: dict = field(default_factory=dict)
+    created_ts: float = 0.0
+
+    @property
+    def live(self) -> bool:
+        return self.state == SESSION_OPEN
+
+    def to_wire(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "attached": self.attached,
+            "meta": self.meta,
+            "created_ts": self.created_ts,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SessionRecord":
+        return cls(
+            session_id=str(data["session_id"]),
+            tenant=str(data["tenant"]),
+            state=str(data.get("state", SESSION_OPEN)),
+            attached=bool(data.get("attached", True)),
+            meta=dict(data.get("meta", {})),
+            created_ts=float(data.get("created_ts", 0.0)),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One asynchronous tuning job inside a session.
+
+    ``deadline`` is absolute unix time (wall clock, so it survives a
+    restart); ``cost`` is the job's evaluation budget charge (its
+    ``nmax``); ``fingerprint`` keys the result in the run registry —
+    identical across restarts, which is what makes recovery re-execute
+    nothing.
+    """
+
+    job_id: str
+    session_id: str
+    tenant: str
+    payload: dict
+    priority: int = 0
+    deadline: float | None = None
+    cost: int = 0
+    state: str = JOB_QUEUED
+    attempts: int = 0
+    fingerprint: str = ""
+    result: dict | None = None
+    error: dict | None = None
+    submitted_ts: float = 0.0
+    finished_ts: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JOB_TERMINAL_STATES
+
+    def to_wire(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "session_id": self.session_id,
+            "tenant": self.tenant,
+            "payload": self.payload,
+            "priority": self.priority,
+            "deadline": self.deadline,
+            "cost": self.cost,
+            "state": self.state,
+            "attempts": self.attempts,
+            "fingerprint": self.fingerprint,
+            "result": self.result,
+            "error": self.error,
+            "submitted_ts": self.submitted_ts,
+            "finished_ts": self.finished_ts,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "JobRecord":
+        return cls(
+            job_id=str(data["job_id"]),
+            session_id=str(data["session_id"]),
+            tenant=str(data["tenant"]),
+            payload=dict(data.get("payload", {})),
+            priority=int(data.get("priority", 0)),
+            deadline=(None if data.get("deadline") is None
+                      else float(data["deadline"])),
+            cost=int(data.get("cost", 0)),
+            state=str(data.get("state", JOB_QUEUED)),
+            attempts=int(data.get("attempts", 0)),
+            fingerprint=str(data.get("fingerprint", "")),
+            result=data.get("result"),
+            error=data.get("error"),
+            submitted_ts=float(data.get("submitted_ts", 0.0)),
+            finished_ts=(None if data.get("finished_ts") is None
+                         else float(data["finished_ts"])),
+        )
+
+
+@dataclass(frozen=True)
+class Event:
+    """One progress event a client polls for, in session order.
+
+    ``seq`` is the store-wide journal sequence number — strictly
+    increasing, so ``events(session, after=seq)`` is an exact cursor
+    that survives restarts and compaction.
+    """
+
+    seq: int
+    session_id: str
+    kind: str  # e.g. "session-created", "job-queued", "job-completed"
+    data: dict
+    ts: float
+
+    def to_wire(self) -> dict:
+        return {
+            "seq": self.seq,
+            "session_id": self.session_id,
+            "kind": self.kind,
+            "data": self.data,
+            "ts": self.ts,
+        }

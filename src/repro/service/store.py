@@ -1,0 +1,279 @@
+"""Crash-safe persistence of session/job lifecycle: the ``SessionStore``.
+
+The store is the service's single source of truth, built on the same
+journal mechanics as the grid :class:`~repro.exec.RunRegistry` (one
+fsync'd JSONL line per acknowledged state change, torn-tail tolerance,
+snapshot-then-swap compaction via :class:`~repro.exec.JsonlJournal`).
+The discipline is **journal first, apply second**: a state transition
+is written and fsync'd before the in-memory state (or any client
+response) reflects it, so a SIGKILL at any instant loses at most a
+change that was never acknowledged.  Every journaled transition doubles
+as a client-visible :class:`~repro.service.model.Event`, which is what
+makes recovery exact: replaying the journal rebuilds both the state
+*and* the event stream clients were consuming.
+
+Long-lived services rotate the journal with :meth:`SessionStore.compact`:
+the current state (all sessions, all jobs, a bounded tail of events per
+live session) is staged as one ``snapshot`` record plus the retained
+event lines and atomically swapped in.  Sequence numbers are preserved
+across compaction, so client event cursors keep working.  A crash
+mid-compaction leaves the old journal intact — recovery never depends
+on a compaction having finished.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from collections import deque
+
+from repro.errors import RegistryCorruptionError
+from repro.exec.journal import JsonlJournal
+from repro.service.model import (
+    Event,
+    JobRecord,
+    SessionRecord,
+)
+
+__all__ = ["SessionStore", "STORE_VERSION"]
+
+STORE_VERSION = 1
+
+#: Events kept per live session when compacting (the replayable tail a
+#: late or re-attaching client can still see).
+DEFAULT_KEEP_EVENTS = 64
+
+#: Events kept in memory across all sessions (older ones are served
+#: only until evicted; clients are expected to poll promptly).
+DEFAULT_EVENT_BUFFER = 8192
+
+
+def _encode(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class SessionStore:
+    """Journaled, replayable session/job state at one path."""
+
+    def __init__(
+        self,
+        path,
+        keep_events_per_session: int = DEFAULT_KEEP_EVENTS,
+        event_buffer: int = DEFAULT_EVENT_BUFFER,
+    ) -> None:
+        self._journal = JsonlJournal(path)
+        self.keep_events_per_session = keep_events_per_session
+        self.sessions: dict[str, SessionRecord] = {}
+        self.jobs: dict[str, JobRecord] = {}
+        self.events: deque[Event] = deque(maxlen=event_buffer)
+        self.next_seq = 1
+        self.recovered = False  # True when open() replayed an existing journal
+
+    @property
+    def path(self) -> str:
+        return self._journal.path
+
+    def size_bytes(self) -> int:
+        return self._journal.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def open(self) -> "SessionStore":
+        """Replay the journal (if any) into memory; returns ``self``.
+
+        A torn final line — the signature of a crash mid-append — is
+        dropped with a warning and truncated; damage anywhere else
+        raises :class:`~repro.errors.RegistryCorruptionError` with the
+        byte offset, because mid-journal corruption is not a crash
+        artifact.
+        """
+        self.sessions.clear()
+        self.jobs.clear()
+        self.events.clear()
+        self.next_seq = 1
+        if not self._journal.exists():
+            return self
+        n_applied = 0
+        for offset, line, is_final in self._journal.iter_lines():
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict) or "kind" not in record:
+                    raise ValueError("not a store record")
+                self._apply(record)
+            except (ValueError, KeyError, TypeError) as exc:
+                if is_final:
+                    try:
+                        self._journal.repair_tail()
+                    except OSError:
+                        pass
+                    warnings.warn(
+                        f"session store {self.path!r}: dropping torn final "
+                        f"record at byte offset {offset} ({exc}); the "
+                        "transition was never acknowledged",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    break
+                raise RegistryCorruptionError(
+                    f"session store {self.path!r} is corrupt at byte offset "
+                    f"{offset}: {exc}",
+                    path=self.path,
+                    offset=offset,
+                ) from exc
+            n_applied += 1
+        self.recovered = n_applied > 0
+        return self
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        session_id: str,
+        data: dict | None = None,
+        session: SessionRecord | None = None,
+        job: JobRecord | None = None,
+        ts: float | None = None,
+    ) -> Event:
+        """Durably journal one state transition, then apply it.
+
+        The line is fsync'd before anything mutates: when the append
+        raises (:class:`~repro.errors.JournalWriteError` under disk
+        pressure), the in-memory state is untouched and the caller must
+        not acknowledge the transition.  Returns the resulting event.
+        """
+        record: dict = {
+            "v": STORE_VERSION,
+            "seq": self.next_seq,
+            "kind": kind,
+            "sid": session_id,
+            "ts": time.time() if ts is None else ts,
+        }
+        if data:
+            record["data"] = data
+        if session is not None:
+            record["session"] = session.to_wire()
+        if job is not None:
+            record["job"] = job.to_wire()
+        self._journal.append_line(_encode(record))
+        return self._apply(record)
+
+    def _apply(self, record: dict) -> Event:
+        """Fold one journal record into the in-memory state."""
+        if record["kind"] == "snapshot":
+            self._apply_snapshot(record)
+            return Event(
+                seq=int(record["seq"]), session_id="", kind="snapshot",
+                data={}, ts=float(record.get("ts", 0.0)),
+            )
+        seq = int(record["seq"])
+        self.next_seq = max(self.next_seq, seq + 1)
+        if "session" in record:
+            session = SessionRecord.from_wire(record["session"])
+            self.sessions[session.session_id] = session
+        if "job" in record:
+            job = JobRecord.from_wire(record["job"])
+            self.jobs[job.job_id] = job
+        event = Event(
+            seq=seq,
+            session_id=str(record.get("sid", "")),
+            kind=str(record["kind"]),
+            data=dict(record.get("data", {})),
+            ts=float(record.get("ts", 0.0)),
+        )
+        self.events.append(event)
+        return event
+
+    def _apply_snapshot(self, record: dict) -> None:
+        state = record.get("data", {})
+        self.sessions = {
+            s["session_id"]: SessionRecord.from_wire(s)
+            for s in state.get("sessions", [])
+        }
+        self.jobs = {
+            j["job_id"]: JobRecord.from_wire(j) for j in state.get("jobs", [])
+        }
+        self.next_seq = max(self.next_seq, int(record["seq"]) + 1)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def events_after(
+        self, session_id: str, after: int = 0, limit: int | None = None
+    ) -> list[Event]:
+        """The session's events with ``seq > after``, oldest first."""
+        out = [
+            e for e in self.events
+            if e.session_id == session_id and e.seq > after
+        ]
+        return out if limit is None else out[:limit]
+
+    def jobs_for(self, session_id: str) -> list[JobRecord]:
+        return [j for j in self.jobs.values() if j.session_id == session_id]
+
+    # ------------------------------------------------------------------
+    # Compaction / rotation
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Atomically rewrite the journal as snapshot + retained events.
+
+        Keeps every session and job record (jobs are the durable audit
+        of quota spend) but drops the raw event history down to the
+        last ``keep_events_per_session`` events of each live session.
+        Returns the journal size in bytes afterwards.  Crash-safe: the
+        swap is :meth:`JsonlJournal.rewrite` — old journal or new, never
+        a mix, and sequence numbers continue where they left off.
+        """
+        snapshot: dict = {
+            "v": STORE_VERSION,
+            "seq": self.next_seq - 1,
+            "kind": "snapshot",
+            "sid": "",
+            "ts": time.time(),
+            "data": {
+                "sessions": [s.to_wire() for s in self.sessions.values()],
+                "jobs": [j.to_wire() for j in self.jobs.values()],
+            },
+        }
+        retained = self._retained_events()
+        lines: list[str] = [_encode(snapshot)]
+        for event in retained:
+            rec: dict = {
+                "v": STORE_VERSION,
+                "seq": event.seq,
+                "kind": event.kind,
+                "sid": event.session_id,
+                "ts": event.ts,
+            }
+            if event.data:
+                rec["data"] = event.data
+            lines.append(_encode(rec))
+        self._journal.rewrite(lines)
+        self.events = deque(retained, maxlen=self.events.maxlen)
+        return self.size_bytes()
+
+    def _retained_events(self) -> list[Event]:
+        keep: dict[str, deque[Event]] = {}
+        for event in self.events:
+            session = self.sessions.get(event.session_id)
+            if session is None or not session.live:
+                continue
+            keep.setdefault(
+                event.session_id, deque(maxlen=self.keep_events_per_session)
+            ).append(event)
+        merged: list[Event] = [e for tail in keep.values() for e in tail]
+        merged.sort(key=lambda e: e.seq)
+        return merged
+
+    def maybe_compact(self, max_bytes: int) -> bool:
+        """Compact when the journal has grown past ``max_bytes``."""
+        if max_bytes <= 0 or self.size_bytes() <= max_bytes:
+            return False
+        self.compact()
+        return True
+
+    def clear(self) -> None:
+        self._journal.clear()

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.kernels",
     "repro.perf",
     "repro.search",
+    "repro.service",
     "repro.transfer",
     "repro.tuner",
     "repro.tuner.techniques",
