@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench faults guard chaos service report examples clean
+.PHONY: install test lint bench bench-session faults guard chaos service report examples clean
 
 # Chaos knobs for `make chaos` (override on the command line).
 CHAOS_RATE ?= 0.5
@@ -24,14 +24,22 @@ lint:
 	$(PYTHON) -m repro.devtools.lint
 
 # --benchmark-only deselects the plain perf-regression suites, so run
-# them explicitly; they write benchmarks/results/BENCH_ml.json and
-# BENCH_service.json and fail on >25% regressions vs the committed
-# baselines (override with REPRO_BENCH_ALLOW_REGRESSION=1 when
-# rebaselining on new hardware).
+# them explicitly; they write benchmarks/results/BENCH_ml.json,
+# BENCH_session.json and BENCH_service.json and fail on >25%
+# regressions vs the committed baselines (override with
+# REPRO_BENCH_ALLOW_REGRESSION=1 when rebaselining on new hardware).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 	$(PYTHON) -m pytest benchmarks/test_perf_ml.py -q -s
+	$(PYTHON) -m pytest benchmarks/test_perf_session.py -q -s
 	$(PYTHON) -m pytest benchmarks/test_perf_service.py -q -s
+
+# Full-session macro-benchmark: batched engine + native kernels vs the
+# reconstructed PR-2-era serial session (trace-identical by assertion),
+# with the >=5x native / >=2.5x NumPy-fallback floors and the 25%
+# regression gate vs the committed BENCH_session.json.
+bench-session:
+	$(PYTHON) -m pytest benchmarks/test_perf_session.py -q -s
 
 faults:
 	$(PYTHON) -m pytest -x -q benchmarks/test_ablations.py::test_fault_ablation --benchmark-only

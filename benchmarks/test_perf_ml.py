@@ -22,6 +22,7 @@ import pytest
 
 from repro.kernels import get_kernel
 from repro.machines import SANDYBRIDGE, WESTMERE
+from repro.ml import _native
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.tree import DecisionTreeRegressor
 from repro.orio.evaluator import OrioEvaluator
@@ -101,6 +102,11 @@ def _training_set(n: int, p: int, seed: int = 0):
     return X, y
 
 
+#: Engine batch size used by the session benchmark (the factory
+#: default); recorded in the entry meta alongside the engine mode.
+SESSION_BATCH = 64
+
+
 def _rsb_session(kernel, training, learner_factory) -> None:
     """Model-facing half of an RSb session: surrogate fit, 10k-pool
     scoring, and the target evaluations (the source trace that produces
@@ -109,7 +115,8 @@ def _rsb_session(kernel, training, learner_factory) -> None:
     surrogate = Surrogate(kernel.space, learner=learner_factory())
     surrogate.fit(training)
     target = OrioEvaluator(kernel, SANDYBRIDGE, clock=SimClock())
-    biased_search(target, kernel.space, surrogate, nmax=40, pool_size=10_000)
+    biased_search(target, kernel.space, surrogate, nmax=40, pool_size=10_000,
+                  batch_size=SESSION_BATCH)
 
 
 def test_perf_ml_suite(results_dir):
@@ -179,6 +186,8 @@ def test_perf_ml_suite(results_dir):
             repeats=3,
         ),
         nmax=40, pool_size=10_000, kernel="lu",
+        batch_size=SESSION_BATCH, engine_mode="batched",
+        native_kernel=_native.available(),
     ))
 
     path = results_dir / REPORT_NAME

@@ -244,6 +244,8 @@ DEAD_CODE_SUBPACKAGES = (
     f"{PACKAGE}.transfer",
     f"{PACKAGE}.reliability",
     f"{PACKAGE}.service",
+    f"{PACKAGE}.ml",
+    f"{PACKAGE}.perf",
 )
 
 
@@ -344,7 +346,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"lint: {len(errors)} finding(s)")
         return 1
     print("lint: clean (import graph acyclic, no hidden internal imports, "
-          "no dead search/transfer/reliability/service code)")
+          "no dead search/transfer/reliability/service/ml/perf code)")
     return 0
 
 

@@ -34,11 +34,13 @@ sums, identical SSE values, and identical chosen thresholds.
 
 from __future__ import annotations
 
+import ctypes
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ModelError
+from repro.ml import _native
 from repro.ml.base import Regressor, check_X, check_Xy
 
 __all__ = ["DecisionTreeRegressor", "TreeNodes"]
@@ -55,6 +57,13 @@ _ENGINES = ("presort", "legacy")
 #: left-to-right loop, so Python scalar arithmetic reproduces it
 #: bit-for-bit and skips several array-op dispatches per node.
 _SCALAR_SUM_MAX = 8
+
+#: Largest node size routed to the scalar split scan in the NumPy
+#: presort engine — below this the batched (k, m) matrix pipeline is
+#: dominated by per-op dispatch, and a plain Python loop over the same
+#: IEEE-double arithmetic is faster (and bit-identical; the cutoff
+#: only picks an implementation, never changes a result).
+_SCALAR_SCAN_MAX = 128
 
 
 @dataclass
@@ -289,6 +298,10 @@ class DecisionTreeRegressor(Regressor):
     def _fit_presort(
         self, X: np.ndarray, y: np.ndarray, root_sorted: np.ndarray | None
     ) -> "DecisionTreeRegressor":
+        # The native kernels index X/y by raw pointer; contiguity is a
+        # no-op copy for the arrays the forest passes in.
+        X = np.ascontiguousarray(X)
+        y = np.ascontiguousarray(y)
         n, p = X.shape
         k = self._n_candidate_features(p)
         msl = self.min_samples_leaf
@@ -296,6 +309,7 @@ class DecisionTreeRegressor(Regressor):
         max_depth = self.max_depth
         rng_choice = self.rng.choice
         add = np.add.reduce  # identical C path to ndarray.sum()
+        lib = _native.handle()
 
         feature: list[int] = []
         threshold: list[float] = []
@@ -364,10 +378,69 @@ class DecisionTreeRegressor(Regressor):
         arange_p = np.arange(p)
         arange_k = np.arange(k)
         inf = np.inf
+        colsT = np.ascontiguousarray(X.T)
+
+        def best_split_scalar(ys, sorted_T, cand, m):
+            """Scalar replay of the batched scan for small nodes, where
+            the (k, m) matrix pipeline is pure dispatch overhead.
+            Python floats are IEEE doubles, so the per-position
+            arithmetic below — the native ``split_scan`` loop, already
+            proven bit-identical to the matrix pass — rounds exactly
+            the same way."""
+            y_sum = float(add(ys))
+            y_sq_sum = float(np.dot(ys, ys))
+            best = None
+            best_sse = inf
+            # Positions with a left or right side below min_samples_leaf
+            # can never split: accumulate their prefix silently and scan
+            # only the eligible band [lo, hi).
+            lo = msl - 1 if msl > 1 else 0
+            hi = m - msl if msl > 1 else m - 1
+            for f in cand:
+                f = int(f)
+                rows = sorted_T[f]
+                xs = colsT[f].take(rows).tolist()
+                yv = y.take(rows).tolist()
+                csum = 0.0
+                csq = 0.0
+                col_best = inf
+                col_pos = -1
+                for v in yv[:lo]:
+                    csum += v
+                    csq += v * v
+                prev_x = xs[lo]
+                for i, (v, next_x) in enumerate(
+                    zip(yv[lo:hi], xs[lo + 1:hi + 1]), start=lo
+                ):
+                    csum += v
+                    csq += v * v
+                    if next_x > prev_x:
+                        sl = i + 1
+                        sright = y_sum - csum
+                        sse = (csq - csum * csum / sl) + (
+                            (y_sq_sum - csq) - sright * sright / (m - sl)
+                        )
+                        # NaN wins once, like np.argmin: a NaN column
+                        # best is never displaced.
+                        if sse < col_best or (sse != sse and col_best == col_best):
+                            col_best = sse
+                            col_pos = i
+                    prev_x = next_x
+                if col_pos >= 0 and col_best < best_sse - _SSE_TOL:
+                    best_sse = col_best
+                    xlo = xs[col_pos]
+                    xhi = xs[col_pos + 1]
+                    thr = 0.5 * (xlo + xhi)
+                    if thr <= xlo:
+                        thr = xhi
+                    best = (f, thr, best_sse)
+            return best
 
         def best_split(ys, sorted_T, cand, m):
             """Batched :func:`_best_split` over presorted row-major
             (feature, position) matrices — one pass for all candidates."""
+            if m <= _SCALAR_SCAN_MAX:
+                return best_split_scalar(ys, sorted_T, cand, m)
             y_sum = add(ys)
             y_sq_sum = float(np.dot(ys, ys))
             sub = sorted_T[cand]  # (k, m) global row ids, contiguous rows
@@ -421,6 +494,153 @@ class DecisionTreeRegressor(Regressor):
             )
 
         root, root_pure = new_node(y, n)
+
+        if lib is not None:
+            # Native growth: ONE fused C call per split (fit_node =
+            # split_scan + partition_node), replaying the batched NumPy
+            # pass above: sequential cumulative sums, same SSE
+            # arithmetic and grouping, first-min argmin, same scalar
+            # tie-break, stable row routing, presorted-row splits, and
+            # both children's statistics in new_node's exact arithmetic
+            # order.  Compiled with -ffp-contract=off, so every double
+            # op rounds exactly like NumPy's.  Arguments travel through
+            # two preconstructed param blocks — ctypes converts every
+            # argument of every call, which at this call rate costs
+            # more than the kernels — and node buffers bump-allocate
+            # from arena blocks, so the loop never re-derives a pointer
+            # through ndarray.ctypes.
+            native_fit = lib.fit_node
+            ip = np.zeros(_native.FN_SLOTS, dtype=np.int64)
+            dp = np.zeros(_native.FD_SLOTS)
+            cand_buf = np.empty(p, dtype=np.int64)
+            ip[_native.FN_X] = X.ctypes.data
+            ip[_native.FN_P] = p
+            ip[_native.FN_Y] = y.ctypes.data
+            ip[_native.FN_CAND] = cand_buf.ctypes.data
+            ip[_native.FN_K] = min(k, p)
+            ip[_native.FN_MSL] = msl
+            ip[_native.FN_MSS] = mss
+            ip[_native.FN_MEMBER] = member.ctypes.data
+            ip[_native.FN_SCALAR_MAX] = _SCALAR_SUM_MAX
+            # y_sum/y_sq_sum stay in NumPy: pairwise reduce and BLAS
+            # dot have summation orders plain C loops cannot replay.
+            dp[_native.FD_TOL] = _SSE_TOL
+            ip_arg = ctypes.c_void_p(ip.ctypes.data)
+            dp_arg = ctypes.c_void_p(dp.ctypes.data)
+            if k >= p:
+                cand_buf[:] = arange_p
+            fn_idx = _native.FN_IDX
+            fn_ys = _native.FN_YS
+            fn_t = _native.FN_T
+            fn_m = _native.FN_M
+            fn_depth_ok = _native.FN_DEPTH_OK
+            fn_out_idx = _native.FN_OUT_IDX
+            fn_out_ys = _native.FN_OUT_YS
+            fn_out_t = _native.FN_OUT_T
+            fd_stats = _native.FD_STATS
+
+            def record_child(ys_c, mc, off):
+                """Record a child whose purity fit_node already
+                determined; small children arrive with their scalar
+                mean/var, larger ones replay new_node's pairwise path."""
+                if dp[off + 3]:
+                    mean = float(dp[off])
+                    var = float(dp[off + 1])
+                else:
+                    mean_np = add(ys_c) / mc
+                    d = ys_c - mean_np
+                    mean = float(mean_np)
+                    var = float(add(d * d) / mc)
+                child = len(feature)
+                feature.append(-1)
+                threshold.append(np.nan)
+                left.append(_NO_CHILD)
+                right.append(_NO_CHILD)
+                value.append(mean)
+                counts.append(mc)
+                impurity.append(var)
+                return child
+
+            # Arena blocks for node buffers (out_idx + out_T share an
+            # int64 block, out_ys a float64 block); kept alive for the
+            # whole fit, grown on demand.
+            blocks: list = []
+            arena_i = arena_f = None
+            base_i = base_f = cap_i = cap_f = off_i = off_f = 0
+
+            stack = []
+            if eligible(n, 0, root_pure):
+                stack.append(
+                    (root, y, 0, root_idx.ctypes.data, y.ctypes.data,
+                     sorted_T0.ctypes.data)
+                )
+            while stack:
+                node, ys, depth, idx_ptr, ys_ptr, T_ptr = stack.pop()
+                m = len(ys)
+                if k < p:
+                    cand_buf[:k] = rng_choice(p, size=k, replace=False)
+                need_i = (p + 1) * m
+                if off_i + need_i > cap_i:
+                    arena_i = np.empty(max(need_i, 1 << 14), dtype=np.int64)
+                    blocks.append(arena_i)
+                    base_i = arena_i.ctypes.data
+                    cap_i = len(arena_i)
+                    off_i = 0
+                if off_f + m > cap_f:
+                    arena_f = np.empty(max(m, 1 << 12))
+                    blocks.append(arena_f)
+                    base_f = arena_f.ctypes.data
+                    cap_f = len(arena_f)
+                    off_f = 0
+                oy = off_f
+                oi_p = base_i + 8 * off_i
+                oy_p = base_f + 8 * oy
+                bT_p = oi_p + 8 * m
+                off_i += need_i
+                off_f += m
+                child_depth = depth + 1
+                depth_ok = max_depth is None or child_depth < max_depth
+                ip[fn_idx] = idx_ptr
+                ip[fn_ys] = ys_ptr
+                ip[fn_t] = T_ptr
+                ip[fn_m] = m
+                ip[fn_depth_ok] = depth_ok
+                ip[fn_out_idx] = oi_p
+                ip[fn_out_ys] = oy_p
+                ip[fn_out_t] = bT_p
+                dp[0] = add(ys)
+                dp[1] = np.dot(ys, ys)
+                n_left = native_fit(ip_arg, dp_arg)
+                if n_left < 0:
+                    continue
+                f = int(ip[_native.FN_OUT_F])
+                sse_before = impurity[node] * m
+                importances[f] += max(0.0, sse_before - dp[_native.FD_SSE])
+                if n_left == 0 or n_left == m:  # pragma: no cover - guarded
+                    continue
+                n_right = m - n_left
+                feature[node] = f
+                threshold[node] = dp[_native.FD_THR]
+                ys_left = arena_f[oy:oy + n_left]
+                ys_right = arena_f[oy + n_left:oy + m]
+                lchild = record_child(ys_left, n_left, fd_stats)
+                left[node] = lchild
+                rchild = record_child(ys_right, n_right, fd_stats + 4)
+                right[node] = rchild
+                if depth_ok and n_left >= mss and not dp[fd_stats + 2]:
+                    stack.append(
+                        (lchild, ys_left, child_depth, oi_p, oy_p, bT_p)
+                    )
+                if depth_ok and n_right >= mss and not dp[fd_stats + 6]:
+                    stack.append(
+                        (rchild, ys_right, child_depth,
+                         oi_p + 8 * n_left, oy_p + 8 * n_left,
+                         bT_p + 8 * p * n_left)
+                    )
+            self._store(feature, threshold, left, right, value, counts,
+                        impurity, importances, p)
+            return self
+
         stack = []
         if eligible(n, 0, root_pure):
             stack.append((root, root_idx, y, 0, sorted_T0))
@@ -434,7 +654,9 @@ class DecisionTreeRegressor(Regressor):
             f, thr, sse_after = found
             sse_before = impurity[node] * m  # impurity is exactly float(ys.var())
             importances[f] += max(0.0, sse_before - sse_after)
-            go_left = X[idx, f] <= thr
+            # Flat take on the transposed copy beats the strided 2-D
+            # fancy index; the compared values are identical either way.
+            go_left = colsT[f].take(idx) <= thr
             not_left = ~go_left
             ys_left = ys[go_left]
             ys_right = ys[not_left]

@@ -55,6 +55,7 @@ def biased_search(
     checkpoint=None,
     guard=None,
     stream=None,
+    batch_size: int | None = 64,
 ) -> SearchTrace:
     """Run RSb for at most ``nmax`` evaluations.
 
@@ -89,6 +90,7 @@ def biased_search(
         name=name,
         space=space,
         checkpoint=checkpoint,
+        batch_size=batch_size,
     )
     return engine.run()
 
@@ -104,6 +106,7 @@ def hybrid_search(
     checkpoint=None,
     guard=None,
     stream=None,
+    batch_size: int | None = 64,
 ) -> SearchTrace:
     """Run the prune-then-bias hybrid (RSpb) for at most ``nmax``
     evaluations.
@@ -147,5 +150,6 @@ def hybrid_search(
         name=name,
         space=space,
         checkpoint=checkpoint,
+        batch_size=batch_size,
     )
     return engine.run()

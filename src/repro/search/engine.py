@@ -41,7 +41,10 @@ hand-rolled loop; the prune-then-bias hybrid
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import BudgetExhaustedError, EvaluationFailure, SearchError
+from repro.ml import _native
 from repro.search.protocols import EngineContext, Gate, Proposal, Proposer
 from repro.search.result import EvaluationRecord, SearchTrace
 from repro.searchspace.space import SearchSpace
@@ -146,6 +149,19 @@ class SearchEngine:
     checkpoint:
         Optional :class:`~repro.reliability.checkpoint.CheckpointManager`;
         when its file exists the search resumes from it.
+    batch_size:
+        Propose/gate/score candidates in blocks of up to this many
+        instead of one Python-level iteration each (``None`` keeps the
+        serial loop).  Purely an execution strategy: the batched loop
+        replays the serial loop's per-candidate accounting — every
+        clock charge in the same order, the same positions, the same
+        records — so traces and checkpoint bytes are identical for
+        every batch size (the golden-trace suite enforces this).  Block
+        execution engages only for proposers that implement
+        ``propose_block``/``rewind`` and degrades candidate-by-candidate
+        otherwise; proposers carrying checkpoint ``state()`` (the guard
+        wrapper) also stay serial under a checkpoint manager, because a
+        mid-block snapshot would capture over-consumed positions.
     """
 
     def __init__(
@@ -165,6 +181,7 @@ class SearchEngine:
         rewind_position_on_budget_break: bool = True,
         stream_positions_metadata: bool = False,
         checkpoint=None,
+        batch_size: int | None = None,
     ) -> None:
         if nmax < 1:
             raise SearchError(f"nmax must be >= 1, got {nmax}")
@@ -172,6 +189,8 @@ class SearchEngine:
             raise SearchError(
                 f"failure_mode must be 'record' or 'raise', got {failure_mode!r}"
             )
+        if batch_size is not None and batch_size < 1:
+            raise SearchError(f"batch_size must be >= 1, got {batch_size}")
         self.evaluator = evaluator
         self.proposer = proposer
         self.gate = gate
@@ -186,8 +205,27 @@ class SearchEngine:
         self.rewind_position_on_budget_break = rewind_position_on_budget_break
         self.stream_positions_metadata = stream_positions_metadata
         self.checkpoint = checkpoint
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------
+    def diagnostics(self) -> dict:
+        """Execution-mode report: the configured batch size, whether the
+        composed proposer supports block proposing, and the native-
+        kernel probe outcome (see :func:`repro.ml._native.diagnostics`).
+        None of it affects results — only throughput."""
+        block_capable = (
+            hasattr(self.proposer, "propose_block")
+            and hasattr(self.proposer, "rewind")
+        )
+        return {
+            "batch_size": self.batch_size,
+            "engine_mode": "batched" if (
+                self.batch_size is not None and block_capable
+            ) else "serial",
+            "block_capable_proposer": block_capable,
+            "native": _native.diagnostics(),
+        }
+
     def _extra(self, skipped: int) -> dict:
         """The checkpoint ``extra`` payload: proposer state, plus the
         pending-skip counter when an admission gate is in play."""
@@ -230,6 +268,32 @@ class SearchEngine:
                 trace.total_elapsed = max(trace.total_elapsed, clock.now)
             return trace
 
+        use_batched = (
+            self.batch_size is not None
+            and hasattr(self.proposer, "propose_block")
+            and hasattr(self.proposer, "rewind")
+            # A mid-block periodic snapshot embeds proposer.state();
+            # proposers that carry real state there (the guard wrapper)
+            # would checkpoint over-consumed positions, so they keep the
+            # serial loop whenever a checkpoint manager is attached.
+            and not (self.checkpoint is not None and self.proposer.state())
+        )
+        loop = self._batched_loop if use_batched else self._serial_loop
+        position, skipped, sync_elapsed = loop(ctx, trace, clock, position, skipped)
+
+        if self.stream_positions_metadata:
+            trace.metadata["stream_positions"] = position
+        if sync_elapsed:
+            trace.total_elapsed = max(trace.total_elapsed, clock.now)
+        if self.checkpoint is not None:
+            self.checkpoint.save(
+                trace, position=position, evaluator=self.evaluator,
+                extra=self._extra(skipped),
+            )
+        return trace
+
+    def _serial_loop(self, ctx, trace, clock, position, skipped):
+        """The reference loop: one proposal per Python-level iteration."""
         sync_elapsed = True
         while trace.n_evaluations < self.nmax and (
             self.position_cap is None or position < self.position_cap
@@ -283,17 +347,121 @@ class SearchEngine:
                     trace, position=position, evaluator=self.evaluator,
                     extra=self._extra(skipped),
                 )
+        return position, skipped, sync_elapsed
 
-        if self.stream_positions_metadata:
-            trace.metadata["stream_positions"] = position
-        if sync_elapsed:
-            trace.total_elapsed = max(trace.total_elapsed, clock.now)
-        if self.checkpoint is not None:
-            self.checkpoint.save(
-                trace, position=position, evaluator=self.evaluator,
-                extra=self._extra(skipped),
-            )
-        return trace
+    def _batched_loop(self, ctx, trace, clock, position, skipped):
+        """Block execution replaying the serial loop's exact accounting.
+
+        Proposals come ``batch_size`` at a time from ``propose_block``;
+        gate verdicts are computed as one vector when the gate exposes
+        ``admit_charge``/``admit_vector``, with each candidate's model-
+        query charge still applied per element in stream order.  Every
+        early exit (budget wall, nmax, failure re-raise) hands strictly
+        unconsumed proposals back via ``rewind`` so position accounting
+        and checkpoint bytes match the serial loop exactly.
+        """
+        proposer = self.proposer
+        gate = self.gate
+        evaluator = self.evaluator
+        checkpoint = self.checkpoint
+        batch = self.batch_size
+        sync_elapsed = True
+        stop = False
+        gate_charge = getattr(gate, "admit_charge", None) if gate is not None else None
+        admit_vector = getattr(gate, "admit_vector", None) if gate is not None else None
+        while not stop and trace.n_evaluations < self.nmax and (
+            self.position_cap is None or position < self.position_cap
+        ):
+            want = batch
+            if self.position_cap is not None:
+                want = min(want, self.position_cap - position)
+            if gate is None:
+                # Ungated searches record every proposal, so the block
+                # never needs to overshoot the evaluation budget.
+                want = min(want, self.nmax - trace.n_evaluations)
+            block = proposer.propose_block(ctx, want)
+            from_block = block is not None
+            if block is None:
+                # No block support right now (model phase, guard not
+                # trusted, ...): fall back to one serial proposal.
+                proposal = proposer.propose(ctx)
+                if proposal is None:
+                    break
+                block = [proposal]
+            elif not block:
+                break  # source exhausted, same as serial propose -> None
+            verdicts = None
+            if (
+                from_block
+                and admit_vector is not None
+                and gate_charge is not None
+                and all(p.predicted is not None for p in block)
+            ):
+                preds = np.fromiter(
+                    (p.predicted for p in block), dtype=float, count=len(block)
+                )
+                verdicts = admit_vector(preds)
+            consumed = 0
+            for i, proposal in enumerate(block):
+                if trace.n_evaluations >= self.nmax:
+                    break
+                position += 1
+                consumed += 1
+                try:
+                    if gate is not None:
+                        if verdicts is not None:
+                            if gate_charge:
+                                clock.advance(gate_charge)
+                            admitted = bool(verdicts[i])
+                        else:
+                            admitted = gate.admit(ctx, proposal)
+                        if not admitted:
+                            skipped += 1
+                            continue
+                    measurement = evaluator.evaluate(proposal.config)
+                except BudgetExhaustedError:
+                    if self.rewind_position_on_budget_break:
+                        position -= 1
+                    if self.charge_remainder_on_exhaust and clock.remaining > 0:
+                        clock.advance(clock.remaining)
+                    trace.exhausted_budget = True
+                    sync_elapsed = not proposer.budget_break_skips_sync()
+                    stop = True
+                    break
+                except EvaluationFailure as exc:
+                    if self.failure_mode == "raise":
+                        if from_block and consumed < len(block):
+                            proposer.rewind(len(block) - consumed)
+                        raise
+                    censored_at = getattr(exc, "censored_at", None)
+                    proposer.observe(
+                        ctx,
+                        proposal,
+                        float("inf") if censored_at is None else float(censored_at),
+                        True,
+                        censored_at is not None,
+                    )
+                    record_failure(trace, proposal.config, exc, clock.now,
+                                   skipped_before=skipped)
+                else:
+                    proposer.observe(
+                        ctx,
+                        proposal,
+                        measurement.runtime_seconds,
+                        bool(getattr(measurement, "failed", False)),
+                        bool(getattr(measurement, "censored", False)),
+                    )
+                    record_measurement(trace, proposal.config, measurement,
+                                       clock.now, skipped_before=skipped)
+                skipped = 0
+                if checkpoint is not None:
+                    checkpoint.maybe_save(
+                        trace, position=position, evaluator=self.evaluator,
+                        extra=self._extra(skipped),
+                    )
+            if from_block and consumed < len(block):
+                proposer.rewind(len(block) - consumed)
+        return position, skipped, sync_elapsed
 
 
 def compose(

@@ -153,6 +153,32 @@ class GuardedProposer:
         self.guard.note_fallback_proposal()
         return Proposal(config)
 
+    def propose_block(self, ctx: EngineContext, count: int):
+        """Block proposals only while the guard cannot intervene.
+
+        With the guard armed and a fallback stream present, any block
+        could straddle a TRUSTED -> SUSPECT/REVOKED transition — and a
+        rewind could not un-count ``note_fallback_proposal`` calls
+        already serialized into the guard's checkpoint state — so those
+        runs return ``None`` and stay candidate-by-candidate.  With no
+        guard (or no stream, where every state delegates to the inner
+        proposer anyway), delegation is byte-identical.
+        """
+        if self.guard.enabled and self.stream is not None:
+            return None
+        inner_block = getattr(self.inner, "propose_block", None)
+        if inner_block is None:
+            return None
+        block = inner_block(ctx, count)
+        if block:
+            self._inner_consumed += len(block)
+            self._last_origin = "inner"
+        return block
+
+    def rewind(self, count: int) -> None:
+        self.inner.rewind(count)
+        self._inner_consumed -= count
+
     # -- feedback / checkpointing --------------------------------------
     def observe(self, ctx: EngineContext, proposal: Proposal, runtime: float,
                 failed: bool, censored: bool) -> None:
@@ -195,6 +221,24 @@ class GuardedGate:
 
     def setup(self, ctx: EngineContext) -> None:
         self.inner.setup(ctx)
+
+    @property
+    def admit_charge(self):
+        """The inner gate's per-decision charge while the guard is
+        dormant; ``None`` once armed, which keeps the engine on the
+        scalar :meth:`admit` path where state-dependent widening and
+        audit promotion can run per candidate."""
+        if self.guard.enabled:
+            return None
+        return getattr(self.inner, "admit_charge", None)
+
+    def admit_vector(self, predicted):
+        if self.guard.enabled:
+            return None
+        inner_vector = getattr(self.inner, "admit_vector", None)
+        if inner_vector is None:
+            return None
+        return inner_vector(predicted)
 
     def admit(self, ctx: EngineContext, proposal: Proposal) -> bool:
         guard = self.guard

@@ -44,6 +44,7 @@ def model_free_pruned_search(
     delta_percent: float = 20.0,
     name: str = "RSpf",
     checkpoint=None,
+    batch_size: int | None = 64,
 ) -> SearchTrace:
     """RSpf: threshold replay of the source machine's evaluations."""
     _check_training(training)
@@ -59,6 +60,7 @@ def model_free_pruned_search(
         name=name,
         space=training[0][0].space,
         checkpoint=checkpoint,
+        batch_size=batch_size,
     )
     return engine.run()
 
@@ -69,6 +71,7 @@ def model_free_biased_search(
     nmax: int = 100,
     name: str = "RSbf",
     checkpoint=None,
+    batch_size: int | None = 64,
 ) -> SearchTrace:
     """RSbf: sorted replay of the source machine's evaluations."""
     _check_training(training)
@@ -79,5 +82,6 @@ def model_free_biased_search(
         name=name,
         space=training[0][0].space,
         checkpoint=checkpoint,
+        batch_size=batch_size,
     )
     return engine.run()

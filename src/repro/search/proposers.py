@@ -31,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.ml import _native
 from repro.ml.forest import RandomForestRegressor
 from repro.search.protocols import (
     EngineContext,
@@ -38,7 +39,7 @@ from repro.search.protocols import (
     SurrogateModel,
 )
 from repro.search.stream import SharedStream
-from repro.searchspace.encoding import encode_cached
+from repro.searchspace.encoding import encode_cached, encoding_cache
 from repro.searchspace.space import Configuration, SearchSpace
 from repro.utils.rng import spawn_rng
 
@@ -138,6 +139,30 @@ class StreamProposer(BaseProposer):
         self._position += 1
         return Proposal(config, predicted)
 
+    def propose_block(self, ctx: EngineContext, count: int) -> list[Proposal]:
+        """Up to ``count`` consecutive stream proposals at once.
+
+        The stream is unbounded, so the block is always full.  The
+        surrogate path reuses :meth:`propose` — the prediction buffer
+        refills in exactly the serial chunk boundaries, keeping the
+        memoized pool keys (and therefore traces) bit-identical.
+        """
+        if self.surrogate is not None:
+            return [self.propose(ctx) for _ in range(count)]
+        start = self._position
+        block = [Proposal(self.stream[start + i]) for i in range(count)]
+        self._position += count
+        return block
+
+    def rewind(self, count: int) -> None:
+        """Hand back the last ``count`` unconsumed proposals.
+
+        The prediction buffer stays valid: it covers positions from
+        ``_buf_start`` forward, and a rewind never moves before the
+        block's start, which the buffer already covered.
+        """
+        self._position -= count
+
 
 class PoolRankProposer(BaseProposer):
     """A surrogate-scored pool, proposed in ascending predicted runtime.
@@ -161,9 +186,11 @@ class PoolRankProposer(BaseProposer):
         self.surrogate = surrogate
         self.pool_size = pool_size
         self.rng_label = rng_label
-        self.pool: list[Configuration] = []
         self.predictions: np.ndarray = np.empty(0)
-        self._order: np.ndarray = np.empty(0, dtype=int)
+        self._pool_indices: list[int] | None = None
+        self._pool_configs: list[Configuration | None] = []
+        self._order: np.ndarray = np.empty(0, dtype=np.int64)
+        self._order_upto = 0
         self._rank = 0
 
     def restore(self, position: int, ctx: EngineContext) -> None:
@@ -174,21 +201,91 @@ class PoolRankProposer(BaseProposer):
         if not ctx.resumed:
             clock.advance(self.surrogate.fit_seconds)
         pool_rng = spawn_rng(self.rng_label, self.space.name, ctx.name)
-        pool = self.space.sample(pool_rng, min(self.pool_size, self.space.cardinality))
-        predictions = self.surrogate.predict(pool)
+        n = min(self.pool_size, self.space.cardinality)
+        predict_indices = getattr(self.surrogate, "predict_indices", None)
+        sample_indices = getattr(self.space, "sample_indices", None)
+        if predict_indices is not None and sample_indices is not None:
+            # Bulk path: the pool stays as linear indices — the same
+            # RNG draws, the same prediction memo key, the same bytes —
+            # and Configuration objects materialize lazily, only for
+            # the pool slots the ranking actually reaches.
+            indices = sample_indices(pool_rng, n)
+            predictions = predict_indices(indices)
+            self._pool_indices = [int(i) for i in indices]
+            self._pool_configs = [None] * n
+        else:
+            pool = self.space.sample(pool_rng, n)
+            predictions = self.surrogate.predict(pool)
+            self._pool_indices = None
+            self._pool_configs = list(pool)
         if not ctx.resumed:
-            clock.advance(self.surrogate.predict_seconds(len(pool)))
-        self.pool = pool
+            clock.advance(self.surrogate.predict_seconds(n))
         self.predictions = predictions
-        self._order = np.argsort(predictions, kind="stable")
-        ctx.trace.metadata["pool_size"] = len(pool)
+        self._order = np.empty(0, dtype=np.int64)
+        self._order_upto = 0
+        ctx.trace.metadata["pool_size"] = n
+
+    @property
+    def pool(self) -> list[Configuration]:
+        """The scored pool, fully materialized (diagnostic use only —
+        the ranking itself never needs every Configuration built)."""
+        return [self._config_for(i) for i in range(len(self._pool_configs))]
+
+    def _config_for(self, slot: int) -> Configuration:
+        config = self._pool_configs[slot]
+        if config is None:
+            config = self.space.config_at(self._pool_indices[slot])
+            self._pool_configs[slot] = config
+        return config
+
+    def _ensure_order(self, upto: int) -> None:
+        """Extend the ranking to cover at least ``upto`` positions.
+
+        A search evaluates ``nmax`` of a 10k pool, so a partial stable
+        top-k (the native kernel) replaces the full argsort; growth is
+        geometric, and the NumPy fallback or a near-full request sorts
+        the whole pool once.  The prefix is identical to the stable
+        full argsort by construction, so traces do not depend on which
+        path ran.
+        """
+        n = len(self.predictions)
+        if upto <= self._order_upto or self._order_upto >= n:
+            return
+        k = max(64, 2 * upto)
+        if k * 2 < n:
+            topk = _native.gate_topk(self.predictions, k)
+            if topk is not None:
+                self._order = topk[0]
+                self._order_upto = k
+                return
+        self._order = np.argsort(self.predictions, kind="stable")
+        self._order_upto = n
 
     def propose(self, ctx: EngineContext) -> Proposal | None:
-        if self._rank >= len(self._order):
+        if self._rank >= len(self.predictions):
             return None
+        self._ensure_order(self._rank + 1)
         idx = int(self._order[self._rank])
         self._rank += 1
-        return Proposal(self.pool[idx], float(self.predictions[idx]))
+        return Proposal(self._config_for(idx), float(self.predictions[idx]))
+
+    def propose_block(self, ctx: EngineContext, count: int) -> list[Proposal]:
+        """The next ``count`` pool entries in predicted order (may be
+        short, or empty when the pool is exhausted)."""
+        n = len(self.predictions)
+        end = min(self._rank + count, n)
+        self._ensure_order(end)
+        block = []
+        for rank in range(self._rank, end):
+            idx = int(self._order[rank])
+            block.append(
+                Proposal(self._config_for(idx), float(self.predictions[idx]))
+            )
+        self._rank = end
+        return block
+
+    def rewind(self, count: int) -> None:
+        self._rank -= count
 
 
 class ReplayProposer(BaseProposer):
@@ -221,6 +318,15 @@ class ReplayProposer(BaseProposer):
         config, source_runtime = self.pairs[self._index]
         self._index += 1
         return Proposal(config, source_runtime)
+
+    def propose_block(self, ctx: EngineContext, count: int) -> list[Proposal]:
+        """The next ``count`` replayed pairs (empty when exhausted)."""
+        pairs = self.pairs[self._index : self._index + count]
+        self._index += len(pairs)
+        return [Proposal(config, runtime) for config, runtime in pairs]
+
+    def rewind(self, count: int) -> None:
+        self._index -= count
 
 
 class SMBOProposer(BaseProposer):
@@ -260,6 +366,7 @@ class SMBOProposer(BaseProposer):
         self.source_data = source_data
         self.refit_every = refit_every
         self._design: list[Configuration] = []
+        self._block_design: list[Configuration] = []
         self._observations: list[tuple[Configuration, float]] = []
         self._evaluated: set[int] = set()
         self._model: RandomForestRegressor | None = None
@@ -270,12 +377,30 @@ class SMBOProposer(BaseProposer):
         clock = ctx.clock
         if self.source_surrogate is not None:
             clock.advance(self.source_surrogate.fit_seconds)
-            pool = self.space.sample(
-                self.rng, min(self.pool_size, self.space.cardinality)
+            n = min(self.pool_size, self.space.cardinality)
+            predict_indices = getattr(
+                self.source_surrogate, "predict_indices", None
             )
-            preds = self.source_surrogate.predict(pool)
-            clock.advance(self.source_surrogate.predict_seconds(len(pool)))
-            design = [pool[int(i)] for i in np.argsort(preds)[: self.n_initial]]
+            sample_indices = getattr(self.space, "sample_indices", None)
+            if predict_indices is not None and sample_indices is not None:
+                # Bulk path: identical RNG draws and predictions (the
+                # memo key is the same index tuple), but only the
+                # n_initial design picks are materialized.  The design
+                # selection keeps the historical *unstable* argsort —
+                # its result is reproducible because the prediction
+                # array is bit-identical.
+                indices = sample_indices(self.rng, n)
+                preds = predict_indices(indices)
+                clock.advance(self.source_surrogate.predict_seconds(n))
+                design = [
+                    self.space.config_at(indices[int(i)])
+                    for i in np.argsort(preds)[: self.n_initial]
+                ]
+            else:
+                pool = self.space.sample(self.rng, n)
+                preds = self.source_surrogate.predict(pool)
+                clock.advance(self.source_surrogate.predict_seconds(len(pool)))
+                design = [pool[int(i)] for i in np.argsort(preds)[: self.n_initial]]
         else:
             design = self.space.sample(
                 self.rng, min(self.n_initial, self.space.cardinality)
@@ -304,15 +429,33 @@ class SMBOProposer(BaseProposer):
             )
             self._model.fit(X, y)
             clock.advance(0.5 + 2e-3 * len(training))  # simulated fit cost
-        candidates = self.space.sample(
-            self.rng, min(self.pool_size, self.space.cardinality)
-        )
-        candidates = [c for c in candidates if c.index not in self._evaluated]
-        if not candidates:
-            return None
-        Xc = encode_cached(self.space, candidates)
+        n = min(self.pool_size, self.space.cardinality)
+        sample_indices = getattr(self.space, "sample_indices", None)
+        if sample_indices is not None:
+            # Bulk path: same RNG draws, same candidate set, but the
+            # 1k-row pool is encoded straight from indices and only the
+            # acquisition argmax becomes a Configuration.
+            indices = [
+                i for i in sample_indices(self.rng, n)
+                if i not in self._evaluated
+            ]
+            if not indices:
+                return None
+            Xc = encoding_cache(self.space).encode_indices(indices)
+            winner = lambda scores: Proposal(  # noqa: E731
+                self.space.config_at(indices[int(np.argmax(scores))])
+            )
+        else:
+            candidates = self.space.sample(self.rng, n)
+            candidates = [c for c in candidates if c.index not in self._evaluated]
+            if not candidates:
+                return None
+            Xc = encode_cached(self.space, candidates)
+            winner = lambda scores: Proposal(  # noqa: E731
+                candidates[int(np.argmax(scores))]
+            )
         mu = self._model.predict(Xc)
-        clock.advance(2e-4 * len(candidates))
+        clock.advance(2e-4 * len(Xc))
         if self.acquisition == "mean":
             scores = -mu
         else:
@@ -322,7 +465,23 @@ class SMBOProposer(BaseProposer):
             else:
                 best = math.log(min(v for _, v in self._observations))
                 scores = _expected_improvement(mu, sigma, best)
-        return Proposal(candidates[int(np.argmax(scores))])
+        return winner(scores)
+
+    def propose_block(self, ctx: EngineContext, count: int) -> list[Proposal] | None:
+        """Design-phase proposals in one block; ``None`` in the model
+        phase, where each proposal depends on the previous observation
+        and the engine must stay candidate-by-candidate."""
+        if not self._design:
+            return None
+        take = self._design[:count]
+        del self._design[:count]
+        self._last_was_design = True
+        self._block_design = take
+        return [Proposal(config) for config in take]
+
+    def rewind(self, count: int) -> None:
+        tail = self._block_design[len(self._block_design) - count :]
+        self._design[:0] = tail
 
     def observe(self, ctx: EngineContext, proposal: Proposal, runtime: float,
                 failed: bool, censored: bool) -> None:

@@ -39,6 +39,7 @@ def pruned_search(
     name: str = "RSp",
     checkpoint=None,
     guard=None,
+    batch_size: int | None = 64,
 ) -> SearchTrace:
     """Run RSp for at most ``nmax`` evaluations.
 
@@ -70,6 +71,10 @@ def pruned_search(
     degrades the run to plain RS on the same stream.  ``guard=None``
     and ``GuardPolicy.disabled()`` are byte-identical to an unguarded
     run.
+
+    ``batch_size`` selects the engine's block execution (``None`` for
+    the serial loop); traces are bit-identical either way — see
+    :class:`~repro.search.engine.SearchEngine`.
     """
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
@@ -114,5 +119,6 @@ def pruned_search(
         rewind_position_on_budget_break=False,
         stream_positions_metadata=True,
         checkpoint=checkpoint,
+        batch_size=batch_size,
     )
     return engine.run()

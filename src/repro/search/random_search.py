@@ -24,6 +24,7 @@ def random_search(
     nmax: int = 100,
     name: str = "RS",
     checkpoint=None,
+    batch_size: int | None = 64,
 ) -> SearchTrace:
     """Run RS for at most ``nmax`` evaluations.
 
@@ -44,6 +45,10 @@ def random_search(
     ``checkpoint`` is an optional
     :class:`~repro.reliability.checkpoint.CheckpointManager`; when its
     file exists the search resumes from it instead of starting over.
+
+    ``batch_size`` selects the engine's block execution (``None`` for
+    the serial loop); traces are bit-identical either way — see
+    :class:`~repro.search.engine.SearchEngine`.
     """
     engine = SearchEngine(
         evaluator,
@@ -54,5 +59,6 @@ def random_search(
         stream=stream,
         position_cap=nmax,
         checkpoint=checkpoint,
+        batch_size=batch_size,
     )
     return engine.run()

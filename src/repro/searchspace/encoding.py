@@ -87,6 +87,33 @@ class EncodingCache:
             self.pool_evictions += 1
         return mat
 
+    def encode_indices(self, indices: Sequence[int]) -> np.ndarray:
+        """Encoded matrix for linear indices (read-only, pool-memo only).
+
+        Shares the pool memo with :meth:`encode_many` — the key is the
+        index tuple in both — so a pool first encoded by index is a hit
+        when later re-encoded from its Configuration objects and vice
+        versa.  Individual rows are *not* memoized: the bulk path is a
+        single vectorized pass, so per-row inserts would cost more than
+        they save.
+        """
+        key = tuple(int(i) for i in indices)
+        if not key:
+            return self.space.encode_indices(key)
+        pool = self._pools.get(key)
+        if pool is not None:
+            self._pools.move_to_end(key)
+            self.hits += 1
+            return pool
+        self.misses += 1
+        mat = self.space.encode_indices(key)
+        mat.flags.writeable = False
+        self._pools[key] = mat
+        while len(self._pools) > self.max_pools:
+            self._pools.popitem(last=False)
+            self.pool_evictions += 1
+        return mat
+
     def stats(self) -> dict[str, int]:
         """Current sizes and lifetime counters, for diagnostics."""
         return {

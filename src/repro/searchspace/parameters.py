@@ -55,6 +55,18 @@ class Parameter(ABC):
     def encode(self, value: Any) -> float:
         """Numeric feature representation of ``value`` for ML models."""
 
+    def encode_digits(self, digits: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`encode` over an int array of ordinals.
+
+        Must equal ``[encode(value_at(d)) for d in digits]`` exactly;
+        the concrete parameter types override with closed-form
+        arithmetic, this generic fallback guarantees the contract for
+        custom subclasses.
+        """
+        return np.array(
+            [self.encode(self.value_at(int(d))) for d in digits], dtype=float
+        )
+
     def values(self) -> list:
         """All values in index order (domains here are small per axis)."""
         return [self.value_at(i) for i in range(self.cardinality)]
@@ -141,6 +153,11 @@ class IntegerParameter(Parameter):
     def encode(self, value: Any) -> float:
         return float(int(value))
 
+    def encode_digits(self, digits):
+        # encode(value_at(d)) == float(low + d): exact in float64 for
+        # any domain this reproduction uses.
+        return (digits + self.low).astype(float)
+
 
 class PowerOfTwoParameter(Parameter):
     """Powers of two ``2**min_exp .. 2**max_exp``.
@@ -180,6 +197,9 @@ class PowerOfTwoParameter(Parameter):
     def encode(self, value: Any) -> float:
         return float(self.min_exp + self.index_of(value))
 
+    def encode_digits(self, digits):
+        return (digits + self.min_exp).astype(float)
+
 
 class BooleanParameter(Parameter):
     """An on/off switch (compiler flags, pragma toggles)."""
@@ -201,6 +221,9 @@ class BooleanParameter(Parameter):
 
     def encode(self, value: Any) -> float:
         return float(self.index_of(value))
+
+    def encode_digits(self, digits):
+        return digits.astype(float)
 
     def mutate(self, value: Any, rng: np.random.Generator, scale: float = 1.0) -> bool:
         return not bool(value)
@@ -240,6 +263,9 @@ class EnumParameter(Parameter):
 
     def encode(self, value: Any) -> float:
         return float(self.index_of(value))
+
+    def encode_digits(self, digits):
+        return digits.astype(float)
 
     def mutate(self, value: Any, rng: np.random.Generator, scale: float = 1.0) -> Any:
         # Categorical: jump to any other choice uniformly.

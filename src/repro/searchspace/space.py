@@ -242,17 +242,28 @@ class SearchSpace:
         while len(chosen) < n:
             count = max(16, 2 * (n - len(chosen)))
             if huge:
-                batch_iter = iter(self._random_indices_bigint(rng, count))
-            else:
-                batch_iter = iter(
-                    int(v) for v in rng.integers(0, self._cardinality, size=count)
+                for i in self._random_indices_bigint(rng, count):
+                    if i not in seen:
+                        seen.add(i)
+                        chosen.append(i)
+                        if len(chosen) == n:
+                            break
+                continue
+            batch = rng.integers(0, self._cardinality, size=count)
+            # Vectorized replay of the scalar scan: within the batch the
+            # first occurrence of each new value wins, in draw order,
+            # and values already seen are skipped entirely.
+            _, first = np.unique(batch, return_index=True)
+            keep = np.zeros(count, dtype=bool)
+            keep[first] = True
+            if seen:
+                keep[keep] = ~np.isin(
+                    batch[keep],
+                    np.fromiter(seen, dtype=np.int64, count=len(seen)),
                 )
-            for i in batch_iter:
-                if i not in seen:
-                    seen.add(i)
-                    chosen.append(i)
-                    if len(chosen) == n:
-                        break
+            picks = [int(v) for v in batch[keep][: n - len(chosen)]]
+            chosen.extend(picks)
+            seen.update(picks)
         return chosen
 
     def _random_indices_bigint(self, rng: np.random.Generator, count: int) -> list[int]:
@@ -298,6 +309,30 @@ class SearchSpace:
         if not configs:
             return np.empty((0, self.dimension), dtype=float)
         return np.vstack([c.encode() for c in configs])
+
+    def encode_indices(self, indices: Sequence[int]) -> np.ndarray:
+        """Encoded ``(n, dim)`` matrix straight from linear indices.
+
+        Exactly ``encode_many([config_at(i) for i in indices])`` without
+        materializing a Configuration per row: each feature column comes
+        from the vectorized mixed-radix digit ``(index // place) % card``
+        fed through the parameter's :meth:`~Parameter.encode_digits`.
+        Spaces beyond the int64 range keep the per-row big-int path.
+        """
+        n = len(indices)
+        if n == 0:
+            return np.empty((0, self.dimension), dtype=float)
+        if self._cardinality > (1 << 62):
+            return np.vstack([self.config_at(i).encode() for i in indices])
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.min() < 0 or idx.max() >= self._cardinality:
+            raise SearchSpaceError(
+                f"index out of range for space of size {self._cardinality}"
+            )
+        out = np.empty((n, self.dimension), dtype=float)
+        for j, (p, place) in enumerate(zip(self.parameters, self._places)):
+            out[:, j] = p.encode_digits((idx // place) % p.cardinality)
+        return out
 
     def feature_names(self) -> list[str]:
         """Feature-column names matching :meth:`encode_many`'s layout."""

@@ -51,6 +51,7 @@ def smbo_search(
     refit_every: int = 1,
     seed: object = 0,
     name: str | None = None,
+    batch_size: int | None = 64,
 ) -> SearchTrace:
     """Run SMBO on the target machine.
 
@@ -90,5 +91,6 @@ def smbo_search(
         space=space,
         failure_mode="raise",
         setup_abort_elapsed=False,
+        batch_size=batch_size,
     )
     return engine.run()

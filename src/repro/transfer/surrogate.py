@@ -178,6 +178,29 @@ class Surrogate:
         self._predict_memo = (key, out)
         return out
 
+    def predict_indices(self, indices: Sequence[int]) -> np.ndarray:
+        """Predicted runtimes for configurations given by linear index.
+
+        Identical to ``predict([space.config_at(i) for i in indices])``
+        — the memo key is the same index tuple, so the two entry points
+        share hits — but the features come from the bulk
+        ``encode_indices`` path with no Configuration objects built.
+        """
+        if not self._fitted:
+            raise NotFittedError("surrogate has not been fitted")
+        if len(indices) == 0:
+            return np.empty(0)
+        key = tuple(int(i) for i in indices)
+        memo = self._predict_memo
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        X = self._encoding.encode_indices(key)
+        pred = self.learner.predict(X)
+        out = np.exp(pred) if self.log_target else pred
+        out.flags.writeable = False
+        self._predict_memo = (key, out)
+        return out
+
     def predict_one(self, config: Configuration) -> float:
         return float(self.predict([config])[0])
 

@@ -100,3 +100,45 @@ class TestEncodingCache:
             "row_evictions": 30,
             "pool_evictions": 0,
         }
+
+
+class TestEncodeIndices:
+    def test_matches_config_at_encoding(self, space, pool):
+        indices = [c.index for c in pool]
+        np.testing.assert_array_equal(
+            space.encode_indices(indices), space.encode_many(pool)
+        )
+
+    def test_cache_bulk_path_matches(self, space, pool):
+        indices = [c.index for c in pool]
+        cache = EncodingCache(space)
+        np.testing.assert_array_equal(
+            cache.encode_indices(indices), space.encode_many(pool)
+        )
+
+    def test_pool_memo_shared_between_entry_points(self, space, pool):
+        """A pool encoded by index is a hit when re-encoded from its
+        Configuration objects — the memo key is the same index tuple."""
+        indices = [c.index for c in pool]
+        cache = EncodingCache(space)
+        by_index = cache.encode_indices(indices)
+        by_config = cache.encode_many(pool)
+        assert by_index is by_config
+        assert cache.stats()["hits"] == 1
+
+    def test_result_is_read_only(self, space, pool):
+        mat = EncodingCache(space).encode_indices([c.index for c in pool])
+        with pytest.raises(ValueError):
+            mat[0, 0] = 99.0
+
+    def test_empty_indices(self, space):
+        assert EncodingCache(space).encode_indices([]).shape == (
+            0, space.dimension
+        )
+
+    def test_out_of_range_rejected(self, space):
+        from repro.errors import SearchSpaceError
+        with pytest.raises(SearchSpaceError):
+            space.encode_indices([space.cardinality])
+        with pytest.raises(SearchSpaceError):
+            space.encode_indices([-1])

@@ -112,3 +112,30 @@ class TestCacheStats:
         for key in ("pools", "max_pools", "misses", "row_evictions",
                     "pool_evictions"):
             assert key in after
+
+
+class TestPredictIndices:
+    def test_matches_predict_by_configuration(self, training):
+        kernel, data = training
+        s = Surrogate(kernel.space).fit(data)
+        configs = kernel.space.sample(spawn_rng("surrogate-test", 7), 60)
+        by_config = s.predict(configs)
+        by_index = s.predict_indices([c.index for c in configs])
+        np.testing.assert_array_equal(by_index, by_config)
+
+    def test_memo_shared_with_predict(self, training):
+        kernel, data = training
+        s = Surrogate(kernel.space).fit(data)
+        configs = kernel.space.sample(spawn_rng("surrogate-test", 8), 40)
+        by_index = s.predict_indices([c.index for c in configs])
+        assert s.predict(configs) is by_index  # same memo entry
+
+    def test_requires_fit(self, training):
+        kernel, _ = training
+        with pytest.raises(NotFittedError):
+            Surrogate(kernel.space).predict_indices([0, 1])
+
+    def test_empty(self, training):
+        kernel, data = training
+        s = Surrogate(kernel.space).fit(data)
+        assert len(s.predict_indices([])) == 0
