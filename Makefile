@@ -2,11 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-session faults guard chaos service report examples clean
+.PHONY: install test lint bench bench-session faults guard chaos chaos-smoke service report examples clean
 
 # Chaos knobs for `make chaos` (override on the command line).
 CHAOS_RATE ?= 0.5
+CHAOS_HANG_RATE ?= 0.2
 CHAOS_SEED ?= 7
+CHAOS_PLANS ?= 13
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -50,15 +52,25 @@ faults:
 guard:
 	$(PYTHON) -m pytest -x -q benchmarks/test_ablations.py::test_negative_transfer --benchmark-only
 
-# Run the executor test suite under amplified deterministic worker
-# kills (REPRO_CHAOS_RATE of task dispatches die on arrival), then the
-# tier-1 suite to prove the chaos run left nothing broken behind.  The
-# default `make test` already includes tests/exec at its built-in
-# chaos pressure; this target turns the injection up.
+# Full chaos gauntlet: (1) the executor test suite under amplified
+# deterministic worker kills and hangs (REPRO_CHAOS_* injection), (2) a
+# seeded cross-layer chaos campaign — CHAOS_PLANS seeds x two
+# intensities, each cell running search+grid+service under composed
+# evaluator/worker/filesystem/deadline faults and verified against the
+# crash-consistency oracle — then (3) the tier-1 suite to prove the
+# chaos run left nothing broken behind.
 chaos:
-	REPRO_CHAOS_RATE=$(CHAOS_RATE) REPRO_CHAOS_SEED=$(CHAOS_SEED) \
+	REPRO_CHAOS_RATE=$(CHAOS_RATE) REPRO_CHAOS_HANG_RATE=$(CHAOS_HANG_RATE) \
+		REPRO_CHAOS_SEED=$(CHAOS_SEED) \
 		$(PYTHON) -m pytest -x -q tests/exec
+	$(PYTHON) -m repro.chaos.campaign --seeds $(CHAOS_PLANS)
 	$(PYTHON) -m pytest -x -q tests/
+
+# Bounded (<60s asserted in-test) chaos smoke: two full oracle cells
+# mixing all four fault layers — the tier-1-friendly slice of `make
+# chaos`.
+chaos-smoke:
+	$(PYTHON) -m pytest -x -q tests/chaos/test_smoke.py
 
 # The tuning-service robustness suite: multi-tenant load (latency
 # percentiles vs the committed BENCH_service.json baseline) plus the

@@ -1,0 +1,45 @@
+"""The full chaos campaign: >=25 seeded plans vs the oracle.
+
+The acceptance bar for the chaos subsystem: a campaign of at least 25
+seed-derived plans — collectively mixing all four fault layers
+(evaluator faults, worker kills/hangs, filesystem faults, and
+kill/restart deadline pressure) — passes every crash-consistency
+invariant.  The campaign journals through ``registry_dir`` like every
+other figure/table grid, so a killed run resumes instead of
+restarting, and the rendered table lands in
+``benchmarks/results/chaos_campaign.txt``.
+"""
+
+from repro.chaos import render_campaign_report, run_chaos_campaign
+from repro.chaos.plan import ChaosPlan
+
+#: 13 seeds x 2 intensities = 26 plans (the >=25-plan acceptance bar).
+N_SEEDS = 13
+INTENSITIES = (0.5, 1.0)
+
+
+def test_chaos_campaign(registry_dir, save_artifact):
+    seeds = [f"campaign-{i}" for i in range(N_SEEDS)]
+
+    # The seed set must collectively exercise every filesystem fault
+    # mode — otherwise a pass proves less than it claims.
+    modes = {ChaosPlan.derive(s).fs_mode for s in seeds}
+    assert modes == {"refuse", "partial", "fsync", "rename"}
+
+    summary = run_chaos_campaign(
+        seeds,
+        intensities=INTENSITIES,
+        registry_path=registry_dir / "chaos_campaign.jsonl",
+    )
+    save_artifact("chaos_campaign", render_campaign_report(summary))
+
+    assert summary["n_plans"] == N_SEEDS * len(INTENSITIES) >= 25
+    assert summary["passed"], render_campaign_report(summary)
+
+    # Every fault layer fired somewhere in the campaign: the invariants
+    # were defended under attack, not in calm weather.
+    counters = summary["counters"]
+    assert counters["evaluator_faults"] > 0
+    assert counters["fs_faults"] > 0
+    assert counters["chaos_kills"] > 0
+    assert counters["search_resumes"] > 0

@@ -1,0 +1,157 @@
+"""Chaos campaigns: N seeded plans, journaled, resumable, reported.
+
+:func:`run_chaos_campaign` fans a set of seeds (× intensity mix) into
+:func:`~repro.chaos.oracle.run_oracle` cells through
+:func:`~repro.experiments.harness.grid_map` — the same journaled grid
+machinery every figure/table driver uses — so an interrupted campaign
+resumes from its registry instead of restarting, and each cell's
+oracle report is durably journaled the moment it finishes.
+
+``python -m repro.chaos.campaign --seeds 25`` runs one from the command
+line (``make chaos`` wires this in); the benchmark suite journals a
+bigger one under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+
+from repro.chaos.oracle import run_oracle
+from repro.chaos.plan import ChaosPlan
+
+__all__ = ["run_chaos_campaign", "render_campaign_report", "main"]
+
+#: Default intensity mix: a gentle and a full-strength schedule per seed.
+DEFAULT_INTENSITIES: tuple[float, ...] = (0.5, 1.0)
+
+
+def _campaign_cell(spec: dict) -> dict:
+    """One campaign cell: reference + chaos + oracle for one plan.
+
+    Module-level and pure in its spec (plans are seed-derived, cells
+    compare a run against its own reference), so cells are picklable
+    and journal-cacheable like any other grid cell.
+    """
+    plan = ChaosPlan.derive(spec["seed"], intensity=float(spec["intensity"]))
+    root = tempfile.mkdtemp(prefix="repro-chaos-cell-")
+    try:
+        report, chaotic = run_oracle(plan, root=root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "seed": plan.seed,
+        "intensity": float(spec["intensity"]),
+        "plan": plan.to_wire(),
+        "passed": report.passed,
+        "report": report.to_wire(),
+        "counters": {
+            "evaluator_faults": sum(
+                chaotic["search"]["evaluator_faults"].values()
+            ),
+            "fs_faults": chaotic["grid"]["fs_faults"]
+            + chaotic["service"]["fs_faults"],
+            "chaos_kills": chaotic["grid"]["chaos_kills"]
+            + chaotic["service"]["chaos_kills"],
+            "search_resumes": chaotic["search"]["resumes"],
+            "grid_restarts": chaotic["grid"]["restarts"],
+            "journal_failures": chaotic["service"]["journal_failures"],
+        },
+    }
+
+
+def run_chaos_campaign(
+    seeds,
+    intensities=DEFAULT_INTENSITIES,
+    registry_path=None,
+    n_workers: int | None = 1,
+) -> dict:
+    """Run one oracle cell per (seed, intensity); returns the summary.
+
+    With ``registry_path`` the campaign journals through the run
+    registry: a killed campaign re-invocation skips every completed
+    cell (the chaos machinery is itself chaos-tolerant).  Cells default
+    to serial execution because each one already owns a worker fleet.
+    """
+    from repro.experiments.harness import grid_map
+
+    specs = [
+        {"seed": str(seed), "intensity": float(intensity)}
+        for seed in seeds
+        for intensity in intensities
+    ]
+    results = grid_map(
+        "chaos-campaign",
+        _campaign_cell,
+        specs,
+        registry_path=registry_path,
+        n_workers=n_workers,
+    )
+    failures = [r for r in results if not r["passed"]]
+    totals: dict[str, int] = {}
+    for result in results:
+        for key, value in result["counters"].items():
+            totals[key] = totals.get(key, 0) + int(value)
+    return {
+        "n_plans": len(results),
+        "n_passed": len(results) - len(failures),
+        "n_failed": len(failures),
+        "passed": not failures,
+        "counters": totals,
+        "results": results,
+    }
+
+
+def render_campaign_report(summary: dict) -> str:
+    """Human-readable campaign table (the ``make chaos`` artifact)."""
+    lines = [
+        "chaos campaign: "
+        f"{summary['n_passed']}/{summary['n_plans']} plans passed "
+        f"({'PASS' if summary['passed'] else 'FAIL'})",
+        "faults injected: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(summary["counters"].items())),
+        "",
+        f"{'seed':<14}{'intensity':>10}  {'verdict':<8}"
+        f"{'kills':>6}{'fs':>5}{'resumes':>9}{'restarts':>10}",
+    ]
+    for result in summary["results"]:
+        counters = result["counters"]
+        lines.append(
+            f"{result['seed']:<14}{result['intensity']:>10.2f}  "
+            f"{'pass' if result['passed'] else 'FAIL':<8}"
+            f"{counters['chaos_kills']:>6}{counters['fs_faults']:>5}"
+            f"{counters['search_resumes']:>9}{counters['grid_restarts']:>10}"
+        )
+        if not result["passed"]:
+            for name, check in result["report"]["checks"].items():
+                if not check["passed"]:
+                    lines.append(f"    {name}: {check['detail']}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run a seeded cross-layer chaos campaign."
+    )
+    parser.add_argument("--seeds", type=int, default=5,
+                        help="number of distinct plan seeds")
+    parser.add_argument("--prefix", default="campaign",
+                        help="seed prefix (seeds are '<prefix>-<i>')")
+    parser.add_argument("--intensity", type=float, action="append",
+                        default=None, help="intensity level (repeatable)")
+    parser.add_argument("--registry", default=None,
+                        help="journal path for resumable campaigns")
+    args = parser.parse_args(argv)
+    summary = run_chaos_campaign(
+        [f"{args.prefix}-{i}" for i in range(args.seeds)],
+        intensities=tuple(args.intensity) if args.intensity else DEFAULT_INTENSITIES,
+        registry_path=args.registry,
+    )
+    sys.stdout.write(render_campaign_report(summary))
+    return 0 if summary["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""First-class filesystem fault injection for the journal layer.
+
+Promoted from the original ``tests/faultfs.py`` shim into a library
+component: the chaos orchestrator composes filesystem pressure with
+evaluator faults, worker kills, and deadline pressure, so the failing
+filesystem has to be schedulable (per-path rules, fault budgets,
+arm/disarm windows) rather than a pytest-only monkeypatch.
+
+:class:`FaultFS` shadows ``open`` and ``os`` inside
+:mod:`repro.exec.journal` (a module-level name wins the lookup over the
+builtin/import), so OSErrors are injected for exactly the ruled paths
+while every other file — test fixtures, checkpoints, a registry under a
+different path — keeps working.  Four failure modes per rule:
+
+``refuse``
+    The write-mode ``open`` itself raises (disk full before a byte
+    lands) — the journal is untouched.
+``partial``
+    The open succeeds but the first ``write`` persists only half the
+    bytes, fsyncs them, and then raises — a genuine torn tail, exactly
+    what a crashing disk leaves behind.
+``fsync``
+    The bytes land but ``os.fsync`` raises — the write is *complete on
+    disk yet unacknowledged*, the nastiest shape: a crash-safe caller
+    must treat the record as lost (and may legitimately write it again,
+    which is why journal replay is last-record-wins).
+``rename``
+    ``os.replace`` onto the ruled path raises — a compaction/rewrite
+    that staged its snapshot but could not swap it in.  The stale
+    temporary must be discarded, never read.
+
+Every rule carries an optional **budget**: the number of faults it may
+inject before auto-disarming, which is how a chaos plan expresses
+"the disk is full for the next three appends, then space returns".
+
+Reads and tail-repair opens (``rb``/``rb+``) are never failed: that is
+how a full disk actually behaves, and it keeps recovery paths
+exercisable while writes are down.
+"""
+
+from __future__ import annotations
+
+import builtins
+import errno
+import os
+from dataclasses import dataclass
+
+__all__ = ["FAULTFS_MODES", "FaultRule", "FaultFS"]
+
+#: Failure shapes a rule may inject.
+FAULTFS_MODES: tuple[str, ...] = ("refuse", "partial", "fsync", "rename")
+
+
+@dataclass
+class FaultRule:
+    """One path's injection schedule (mutable: budgets count down)."""
+
+    path: str
+    mode: str = "refuse"
+    err: int = errno.ENOSPC
+    budget: int | None = None  # faults left to inject; None = unlimited
+    armed: bool = True
+    failures: int = 0
+
+    def __post_init__(self) -> None:
+        self.path = os.fspath(self.path)
+        if self.mode not in FAULTFS_MODES:
+            raise ValueError(
+                f"unknown faultfs mode {self.mode!r}; known: {FAULTFS_MODES}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return self.armed and (self.budget is None or self.budget > 0)
+
+    def consume(self) -> None:
+        """Record one injected fault and burn budget (auto-disarm at 0)."""
+        self.failures += 1
+        if self.budget is not None:
+            self.budget -= 1
+            if self.budget <= 0:
+                self.armed = False
+
+
+class _PartialWriteFile:
+    """File wrapper whose first write persists half the bytes, then fails."""
+
+    def __init__(self, fh, err: int) -> None:
+        self._fh = fh
+        self._err = err
+
+    def write(self, data):
+        kept = data[: max(1, len(data) // 2)]
+        self._fh.write(kept)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        raise OSError(self._err, os.strerror(self._err))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._fh.close()
+        return False
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+class _FsyncDoomedFile:
+    """File wrapper that registers its fd for an injected fsync failure."""
+
+    def __init__(self, fh, fs: "FaultFS", rule: FaultRule) -> None:
+        self._fh = fh
+        self._fs = fs
+        self._rule = rule
+        fs._doomed_fds[fh.fileno()] = rule
+
+    def close(self):
+        self._fs._doomed_fds.pop(self._fh.fileno(), None)
+        return self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+class _OsProxy:
+    """Delegates everything to :mod:`os`, intercepting fsync/replace."""
+
+    def __init__(self, fs: "FaultFS") -> None:
+        self._fs = fs
+
+    def fsync(self, fd):
+        rule = self._fs._doomed_fds.get(fd)
+        if rule is not None and rule.active:
+            rule.consume()
+            raise OSError(rule.err, os.strerror(rule.err))
+        return os.fsync(fd)
+
+    def replace(self, src, dst):
+        rule = self._fs._rule_for(dst, mode="rename")
+        if rule is not None:
+            rule.consume()
+            raise OSError(rule.err, os.strerror(rule.err), os.fspath(src),
+                          None, os.fspath(dst))
+        return os.replace(src, dst)
+
+    def __getattr__(self, name):
+        return getattr(os, name)
+
+
+class FaultFS:
+    """Injects filesystem faults into the journal layer, per path.
+
+    Usage::
+
+        fs = FaultFS()
+        fs.add_rule(store_path, mode="refuse", budget=3)
+        fs.add_rule(registry_path, mode="fsync", budget=1)
+        with fs:                      # shadows open/os in repro.exec.journal
+            ...                       # appends against ruled paths fail
+        # uninstalled; counters survive for assertions
+
+    Rules match the exact path being opened/renamed-onto, so the
+    campaign journal and the workload journal can live on the same
+    (real) filesystem with only the latter failing.  Installation is
+    idempotent and always uninstalls cleanly, including on error.
+    """
+
+    def __init__(self) -> None:
+        self.rules: list[FaultRule] = []
+        self._installed = False
+        self._saved: dict = {}
+        self._doomed_fds: dict[int, FaultRule] = {}
+
+    # ------------------------------------------------------------------
+    # Rule management
+    # ------------------------------------------------------------------
+    def add_rule(
+        self,
+        path,
+        mode: str = "refuse",
+        err: int = errno.ENOSPC,
+        budget: int | None = None,
+        armed: bool = True,
+    ) -> FaultRule:
+        rule = FaultRule(path=os.fspath(path), mode=mode, err=err,
+                         budget=budget, armed=armed)
+        self.rules.append(rule)
+        return rule
+
+    def arm(self, path=None) -> None:
+        """(Re-)arm every rule, or just the rules for one path."""
+        for rule in self._select(path):
+            rule.armed = True
+
+    def disarm(self, path=None) -> None:
+        for rule in self._select(path):
+            rule.armed = False
+
+    def _select(self, path):
+        if path is None:
+            return self.rules
+        path = os.fspath(path)
+        return [r for r in self.rules if r.path == path]
+
+    def _rule_for(self, path, mode: str | None = None,
+                  modes: tuple[str, ...] | None = None) -> FaultRule | None:
+        """The first active rule for ``path`` (optionally mode-filtered)."""
+        path = os.fspath(path)
+        for rule in self.rules:
+            if rule.path != path or not rule.active:
+                continue
+            if mode is not None and rule.mode != mode:
+                continue
+            if modes is not None and rule.mode not in modes:
+                continue
+            return rule
+        return None
+
+    @property
+    def failures(self) -> int:
+        """Total faults injected across all rules."""
+        return sum(rule.failures for rule in self.rules)
+
+    def counts(self) -> dict[str, int]:
+        """Faults injected per mode (the campaign's observability hook)."""
+        out = {mode: 0 for mode in FAULTFS_MODES}
+        for rule in self.rules:
+            out[rule.mode] += rule.failures
+        return out
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self) -> "FaultFS":
+        """Shadow ``open``/``os`` inside :mod:`repro.exec.journal`."""
+        if self._installed:
+            return self
+        import repro.exec.journal as journal_mod
+
+        self._saved = {
+            "module": journal_mod,
+            "open": getattr(journal_mod, "open", None),
+            "os": journal_mod.os,
+        }
+        journal_mod.open = self._open  # type: ignore[attr-defined]
+        journal_mod.os = _OsProxy(self)  # type: ignore[assignment]
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        journal_mod = self._saved["module"]
+        if self._saved["open"] is None:
+            try:
+                del journal_mod.open
+            except AttributeError:
+                pass
+        else:
+            journal_mod.open = self._saved["open"]
+        journal_mod.os = self._saved["os"]
+        self._saved = {}
+        self._doomed_fds.clear()
+        self._installed = False
+
+    def __enter__(self) -> "FaultFS":
+        return self.install()
+
+    def __exit__(self, *exc) -> bool:
+        self.uninstall()
+        return False
+
+    # ------------------------------------------------------------------
+    # The shadowed open
+    # ------------------------------------------------------------------
+    def _open(self, file, mode="r", *args, **kwargs):
+        # Inject only on append/truncate opens; "rb+" (tail repair) and
+        # plain reads stay functional, as they do on a full disk.
+        is_write = "w" in mode or "a" in mode
+        if is_write:
+            rule = self._rule_for(file, modes=("refuse", "partial", "fsync"))
+            if rule is not None:
+                if rule.mode == "refuse":
+                    rule.consume()
+                    raise OSError(rule.err, os.strerror(rule.err), file)
+                if rule.mode == "partial":
+                    rule.consume()
+                    fh = builtins.open(file, mode, *args, **kwargs)
+                    return _PartialWriteFile(fh, rule.err)
+                # fsync: bytes land, the durability barrier fails.
+                fh = builtins.open(file, mode, *args, **kwargs)
+                return _FsyncDoomedFile(fh, self, rule)
+        return builtins.open(file, mode, *args, **kwargs)

@@ -1,0 +1,179 @@
+"""The crash-consistency oracle: chaos run vs fault-free reference.
+
+The oracle's contract is the system property the four robustness layers
+were built to provide: *a faulted, killed, disk-starved run provably
+converges to the same answer as a clean one.*  Concretely, for any
+:class:`~repro.chaos.plan.ChaosPlan`, the outcome of
+:func:`~repro.chaos.workload.run_workload` under chaos must match the
+fault-free reference on every invariant below — where the reference
+shares the plan's *evaluator*-fault schedule (simulation input) and
+differs only in operational chaos (kills, hangs, filesystem faults,
+deadline pressure, crash/restart cycles).
+
+Invariants
+----------
+``trace-identical``
+    The search phase's final trace digest (configs, runtimes, elapsed
+    times, failure flags) is identical across any number of
+    kill-mid-save/resume cycles.
+``checkpoint-bytes``
+    The final checkpoint file is byte-identical — resume state, clock,
+    and reliability history all converged, not just the headline trace.
+``zero-reexecuted-cells``
+    After chaos, a verification ``run_grid`` pass executes **zero**
+    cells: everything acknowledged into the registry journal survived
+    every crash, and nothing acknowledged is ever recomputed.
+``registry-state``
+    Every cell's journaled result equals the reference's, fingerprint
+    by fingerprint — crashes changed *where* cells ran, never *what*
+    they computed.
+``service-state``
+    The session store, reopened from disk after compaction, holds the
+    same sessions and jobs (states, costs, results — timestamps
+    excluded) as the reference store.
+``quota-conservation``
+    Per-tenant ``evals_spent`` matches the reference: no chaos
+    interleaving leaked budget or double-charged/double-refunded a job.
+``no-orphans``
+    No worker processes outlive the workload and no stray temporary
+    files (``*.tmp`` / ``*.rewrite.tmp``) remain under the root.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+
+from repro.chaos.plan import ChaosPlan
+from repro.chaos.workload import run_workload
+
+__all__ = ["InvariantCheck", "OracleReport", "verify_outcomes", "run_oracle"]
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One invariant's verdict (``detail`` explains a failure)."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail and not self.passed else ""
+        return f"{self.name}: {mark}{suffix}"
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Every invariant's verdict for one plan."""
+
+    plan_seed: str
+    checks: tuple[InvariantCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> tuple[InvariantCheck, ...]:
+        return tuple(c for c in self.checks if not c.passed)
+
+    def to_wire(self) -> dict:
+        return {
+            "plan_seed": self.plan_seed,
+            "passed": self.passed,
+            "checks": {
+                c.name: {"passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            },
+        }
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [f"oracle[{self.plan_seed}]: {verdict}"]
+        lines.extend(f"  {check}" for check in self.checks)
+        return "\n".join(lines)
+
+
+def _check(name: str, passed: bool, detail: str = "") -> InvariantCheck:
+    return InvariantCheck(name=name, passed=bool(passed),
+                          detail="" if passed else detail)
+
+
+def verify_outcomes(reference: dict, chaotic: dict) -> OracleReport:
+    """Compare a chaos outcome against its fault-free reference."""
+    ref_search, cha_search = reference["search"], chaotic["search"]
+    ref_grid, cha_grid = reference["grid"], chaotic["grid"]
+    ref_svc, cha_svc = reference["service"], chaotic["service"]
+    checks = [
+        _check(
+            "trace-identical",
+            cha_search["trace_digest"] == ref_search["trace_digest"],
+            f"chaos {cha_search['trace_digest'][:12]} != "
+            f"reference {ref_search['trace_digest'][:12]} "
+            f"({cha_search['n_records']} vs {ref_search['n_records']} records)",
+        ),
+        _check(
+            "checkpoint-bytes",
+            cha_search["checkpoint_sha"] == ref_search["checkpoint_sha"],
+            "final checkpoint bytes diverged across kill/resume cycles",
+        ),
+        _check(
+            "zero-reexecuted-cells",
+            cha_grid["final_executed"] == 0
+            and cha_grid["final_cached"] == cha_grid["n_cells"],
+            f"verification pass executed {cha_grid['final_executed']} and "
+            f"cached {cha_grid['final_cached']} of {cha_grid['n_cells']} cells",
+        ),
+        _check(
+            "registry-state",
+            cha_grid["results"] == ref_grid["results"],
+            "journaled cell results differ from the reference registry",
+        ),
+        _check(
+            "service-state",
+            cha_svc["state"] == ref_svc["state"],
+            "session store state (sessions/jobs/results) differs from the "
+            "reference after compaction and replay",
+        ),
+        _check(
+            "quota-conservation",
+            cha_svc["evals_spent"] == ref_svc["evals_spent"],
+            f"per-tenant spend {cha_svc['evals_spent']} != "
+            f"reference {ref_svc['evals_spent']}",
+        ),
+        _check(
+            "no-orphans",
+            not chaotic["orphans"] and chaotic["live_children"] == 0,
+            f"orphans={chaotic['orphans']}, "
+            f"live_children={chaotic['live_children']}",
+        ),
+    ]
+    return OracleReport(
+        plan_seed=str(chaotic["plan"]["seed"]), checks=tuple(checks)
+    )
+
+
+def run_oracle(
+    plan: ChaosPlan,
+    root=None,
+    break_invariant: str | None = None,
+) -> tuple[OracleReport, dict]:
+    """Reference run + chaos run + verification for one plan.
+
+    Returns ``(report, chaos_outcome)``.  ``root`` defaults to a fresh
+    temporary directory (removed only by the OS; campaign cells pass an
+    explicit one and clean it themselves).  ``break_invariant`` is
+    threaded into the chaos run for the oracle's negative tests.
+    """
+    if root is None:
+        root = tempfile.mkdtemp(prefix="repro-chaos-")
+    root = os.fspath(root)
+    reference = run_workload(plan, os.path.join(root, "reference"), chaos=False)
+    chaotic = run_workload(
+        plan, os.path.join(root, "chaos"), chaos=True,
+        break_invariant=break_invariant,
+    )
+    return verify_outcomes(reference, chaotic), chaotic

@@ -246,6 +246,7 @@ DEAD_CODE_SUBPACKAGES = (
     f"{PACKAGE}.service",
     f"{PACKAGE}.ml",
     f"{PACKAGE}.perf",
+    f"{PACKAGE}.chaos",
 )
 
 
@@ -346,7 +347,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"lint: {len(errors)} finding(s)")
         return 1
     print("lint: clean (import graph acyclic, no hidden internal imports, "
-          "no dead search/transfer/reliability/service/ml/perf code)")
+          "no dead search/transfer/reliability/service/ml/perf/chaos code)")
     return 0
 
 

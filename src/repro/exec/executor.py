@@ -91,21 +91,44 @@ def _env_task_timeout() -> float | None:
     return value if value > 0 else None
 
 
+def _env_chaos_float(name: str, raw: str, lo: float, hi: float) -> float:
+    """Parse one chaos env var strictly (the ``REPRO_WORKERS`` convention)."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+    if not (lo <= value <= hi):
+        raise ValueError(
+            f"{name} must be in [{lo:g}, {hi:g}], got {value:g}"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class ChaosConfig:
-    """Deterministic worker-kill injection for supervision tests.
+    """Deterministic worker kill/hang injection for supervision tests.
 
     With probability ``kill_rate`` a worker ``os._exit``'s the moment it
     receives a task — before any work happens — modelling a segfault or
-    OOM kill at the worst possible time.  The decision is a pure hash of
-    ``(seed, task_id, attempt)``: a given run of a given grid kills the
-    same workers on the same cells every time, and a retried task draws
-    a fresh decision, so recovery is exercised deterministically.
+    OOM kill at the worst possible time.  Independently, with
+    probability ``hang_rate`` the worker goes *silent* for
+    ``hang_seconds`` before starting the task: no heartbeats are sent
+    during the hang, so a hang longer than the watchdog's stall grace is
+    detected and killed, while a shorter one just burns wall-clock
+    against the task's deadline (deadline-pressure chaos).  Both
+    decisions are pure hashes of ``(seed, task_id, attempt)``: a given
+    run of a given grid kills/hangs the same workers on the same cells
+    every time, and a retried task draws a fresh decision, so recovery
+    is exercised deterministically.
     """
 
     kill_rate: float
     seed: Any = 0
     exitcode: int = CHAOS_EXITCODE
+    hang_rate: float = 0.0
+    hang_seconds: float = 0.5
 
     def should_kill(self, task_id: int, attempt: int) -> bool:
         if self.kill_rate <= 0.0:
@@ -113,17 +136,44 @@ class ChaosConfig:
         draw = stable_hash("chaos-kill", self.seed, task_id, attempt) / _TWO64
         return draw < self.kill_rate
 
+    def should_hang(self, task_id: int, attempt: int) -> bool:
+        if self.hang_rate <= 0.0:
+            return False
+        draw = stable_hash("chaos-hang", self.seed, task_id, attempt) / _TWO64
+        return draw < self.hang_rate
+
     @classmethod
     def from_env(cls) -> "ChaosConfig | None":
-        """A config from ``REPRO_CHAOS_RATE`` / ``REPRO_CHAOS_SEED``.
+        """A config from the ``REPRO_CHAOS_*`` environment variables.
 
-        Returns ``None`` when no rate is set — the hook ``make chaos``
-        uses to run the exec test suite under injected worker kills.
+        ``REPRO_CHAOS_RATE`` (kill probability), ``REPRO_CHAOS_HANG_RATE``,
+        ``REPRO_CHAOS_HANG_SECONDS``, and ``REPRO_CHAOS_SEED``.  Returns
+        ``None`` when no rate is set — the hook ``make chaos`` uses to
+        run the exec test suite under injected worker kills.  Malformed
+        or out-of-range values raise :class:`ValueError` immediately
+        rather than surfacing as a confusing mid-grid failure.
         """
         rate = os.environ.get("REPRO_CHAOS_RATE")
-        if rate is None or rate.strip() == "":
+        hang_rate = os.environ.get("REPRO_CHAOS_HANG_RATE")
+        if (rate is None or rate.strip() == "") and (
+            hang_rate is None or hang_rate.strip() == ""
+        ):
             return None
-        return cls(kill_rate=float(rate), seed=os.environ.get("REPRO_CHAOS_SEED", "0"))
+        kwargs: dict[str, Any] = {"kill_rate": 0.0}
+        if rate is not None and rate.strip() != "":
+            kwargs["kill_rate"] = _env_chaos_float(
+                "REPRO_CHAOS_RATE", rate, 0.0, 1.0
+            )
+        if hang_rate is not None and hang_rate.strip() != "":
+            kwargs["hang_rate"] = _env_chaos_float(
+                "REPRO_CHAOS_HANG_RATE", hang_rate, 0.0, 1.0
+            )
+        hang_seconds = os.environ.get("REPRO_CHAOS_HANG_SECONDS")
+        if hang_seconds is not None and hang_seconds.strip() != "":
+            kwargs["hang_seconds"] = _env_chaos_float(
+                "REPRO_CHAOS_HANG_SECONDS", hang_seconds, 0.0, 3600.0
+            )
+        return cls(seed=os.environ.get("REPRO_CHAOS_SEED", "0"), **kwargs)
 
 
 @dataclass(frozen=True)
@@ -207,6 +257,11 @@ def _worker_main(slot, conn, func, chaos, heartbeat_interval):
         task_id, attempt, chunk = msg
         if chaos is not None and chaos.should_kill(task_id, attempt):
             os._exit(chaos.exitcode)
+        if chaos is not None and chaos.should_hang(task_id, attempt):
+            # Go silent *before* the heartbeat picks the task up: no
+            # beats during the sleep, so a hang past the stall grace is
+            # watchdog-killed and a shorter one eats deadline budget.
+            time.sleep(chaos.hang_seconds)
         current["task"] = task_id
         results = []
         failure = None
@@ -283,6 +338,9 @@ class ExecutorStats:
     quarantined: int
     worker_deaths: int
     timeouts: int
+    #: worker deaths whose exit code matched the chaos config — injected
+    #: kills the supervision layer survived (0 when chaos is off).
+    chaos_kills: int = 0
 
 
 class SupervisedExecutor:
@@ -344,6 +402,7 @@ class SupervisedExecutor:
         self._quarantined = 0
         self._worker_deaths = 0
         self._timeouts = 0
+        self._chaos_kills = 0
         self._active: "_Supervision | None" = None
 
     def stats(self) -> ExecutorStats:
@@ -368,6 +427,7 @@ class SupervisedExecutor:
             quarantined=self._quarantined,
             worker_deaths=self._worker_deaths,
             timeouts=self._timeouts,
+            chaos_kills=self._chaos_kills,
         )
 
     # ------------------------------------------------------------------
@@ -685,6 +745,8 @@ class _Supervision:
         exitcode = w.proc.exitcode
         task_id = w.task_id
         self.ex._worker_deaths += 1
+        if self.ex.chaos is not None and exitcode == self.ex.chaos.exitcode:
+            self.ex._chaos_kills += 1
         self._discard_worker(w)
         if task_id is not None:
             self._operational_failure(

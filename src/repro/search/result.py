@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -130,6 +132,35 @@ class SearchTrace:
             for r in self.records
             if include_failed or not r.failed
         ]
+
+    def state_digest(self) -> str:
+        """A sha256 digest over the trace's replayable state.
+
+        Covers every record (config index, runtime, elapsed,
+        skip/failure/censoring flags), the total elapsed time, and the
+        budget-exhaustion flag — everything a resume must reproduce —
+        while excluding free-form ``metadata`` (which may carry
+        diagnostics that legitimately differ between a chaos run and
+        its reference).  Two runs converged to the same search state if
+        and only if their digests match; the chaos oracle compares
+        exactly this across kill/restart boundaries.
+        """
+        rows = [
+            (r.config.index, repr(r.runtime), repr(r.elapsed),
+             r.skipped_before, r.failed, r.censored)
+            for r in self.records
+        ]
+        payload = json.dumps(
+            {
+                "algorithm": self.algorithm,
+                "records": rows,
+                "total_elapsed": repr(self.total_elapsed),
+                "exhausted_budget": self.exhausted_budget,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def __repr__(self) -> str:
         if not self.records:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import shutil
 import threading
 import time
 
@@ -99,6 +100,7 @@ class TuningService:
         registry_max_bytes: int = 8_000_000,
         degraded_cooldown: float = 2.0,
         poll_interval: float = 0.02,
+        min_free_bytes: int = 0,
     ) -> None:
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
@@ -122,9 +124,13 @@ class TuningService:
         self.store_max_bytes = store_max_bytes
         self.degraded_cooldown = degraded_cooldown
         self.poll_interval = poll_interval
+        self.min_free_bytes = min_free_bytes
         self._lock = threading.RLock()
         self._degraded_until = 0.0
         self._recovered_jobs = 0
+        self._journal_failures = 0
+        self._watermark_rejections = 0
+        self._oracle_report: dict | None = None
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
 
@@ -179,12 +185,38 @@ class TuningService:
                 retry_after=round(self._degraded_until - now, 3),
                 tenant=tenant,
             )
+        self._check_watermark(tenant)
+
+    def _check_watermark(self, tenant: str | None = None) -> None:
+        """Resource-exhaustion guard: refuse *before* the append.
+
+        A journal append on a nearly full disk fails mid-write — a torn
+        tail the next replay has to repair.  With ``min_free_bytes`` set
+        the service instead measures free space up front and enters the
+        same structured degraded mode a failed write would trigger,
+        while the disk still has headroom for in-flight appends.
+        """
+        if self.min_free_bytes <= 0:
+            return
+        free = shutil.disk_usage(self.root).free
+        if free < self.min_free_bytes:
+            self._watermark_rejections += 1
+            self._degraded_until = self._now() + self.degraded_cooldown
+            raise ServiceOverloadedError(
+                f"disk low-watermark: {free} bytes free under {self.root} "
+                f"(< {self.min_free_bytes} required); journal appends "
+                "suspended",
+                retry_after=self.degraded_cooldown,
+                tenant=tenant,
+            )
 
     def _record(self, *args, tenant: str | None = None, **kwargs) -> Event:
         """Journal one transition; journal failure => degraded window."""
+        self._check_watermark(tenant)
         try:
             event = self.store.record(*args, **kwargs)
         except JournalWriteError as exc:
+            self._journal_failures += 1
             self._degraded_until = self._now() + self.degraded_cooldown
             raise ServiceOverloadedError(
                 f"state journal write failed ({exc}); transition not "
@@ -462,6 +494,7 @@ class TuningService:
                 # Completed-but-unjournaled cells will simply re-run;
                 # requeue in memory and back off.
                 with self._lock:
+                    self._journal_failures += 1
                     self._degraded_until = self._now() + self.degraded_cooldown
                     for job in batch:
                         self._requeue_in_memory(job)
@@ -547,6 +580,16 @@ class TuningService:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def note_oracle_report(self, report: dict) -> None:
+        """Attach the latest chaos-oracle outcome to the diagnostics.
+
+        Campaigns call this after verifying a service workload so
+        operators see invariant results on the health endpoint without
+        reading journals.
+        """
+        with self._lock:
+            self._oracle_report = dict(report)
+
     def stats(self) -> dict:
         """The health endpoint's body: queues, tenants, executor, disk."""
         with self._lock:
@@ -580,6 +623,14 @@ class TuningService:
                 "executor": dataclasses.asdict(executor_stats),
                 "store_bytes": self.store.size_bytes(),
                 "registry_bytes": self.registry.size_bytes(),
+                "chaos": {
+                    "journal_write_failures": self._journal_failures,
+                    "watermark_rejections": self._watermark_rejections,
+                    "min_free_bytes": self.min_free_bytes,
+                    "chaos_kills": executor_stats.chaos_kills,
+                    "worker_deaths": executor_stats.worker_deaths,
+                    "oracle": self._oracle_report,
+                },
             }
 
     def health(self) -> dict:

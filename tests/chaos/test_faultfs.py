@@ -1,0 +1,205 @@
+"""FaultFS: every failure mode, budgets, arm/disarm, clean uninstall.
+
+Exercised directly against :class:`~repro.exec.journal.JsonlJournal`
+— the primitive both the run registry and the session store are built
+on — so each mode's on-disk aftermath (torn tail, unacknowledged
+complete write, stale rewrite temporary) is asserted at the byte level.
+"""
+
+import errno
+import json
+import os
+
+import pytest
+
+import repro.exec.journal as journal_mod
+from repro.chaos.faultfs import FAULTFS_MODES, FaultFS, FaultRule
+from repro.errors import JournalWriteError
+from repro.exec.journal import JsonlJournal
+
+
+def _records(journal: JsonlJournal) -> list[dict]:
+    """Complete (newline-terminated) records currently on disk."""
+    if not journal.exists():
+        return []
+    with open(journal.path, "rb") as fh:
+        blob = fh.read()
+    complete = blob[: blob.rfind(b"\n") + 1]
+    return [json.loads(line) for line in complete.splitlines() if line]
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return JsonlJournal(tmp_path / "journal.jsonl")
+
+
+class TestFaultRule:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown faultfs mode"):
+            FaultRule(path="/x", mode="explode")
+
+    def test_budget_counts_down_and_auto_disarms(self):
+        rule = FaultRule(path="/x", budget=2)
+        assert rule.active
+        rule.consume()
+        assert rule.active and rule.budget == 1
+        rule.consume()
+        assert not rule.active and not rule.armed
+        assert rule.failures == 2
+
+    def test_unlimited_budget_stays_active(self):
+        rule = FaultRule(path="/x", budget=None)
+        for _ in range(10):
+            rule.consume()
+        assert rule.active and rule.failures == 10
+
+
+class TestRefuseMode:
+    def test_refuses_then_recovers_when_budget_exhausts(self, journal):
+        fs = FaultFS()
+        fs.add_rule(journal.path, mode="refuse", budget=2)
+        with fs:
+            for _ in range(2):
+                with pytest.raises(JournalWriteError) as exc_info:
+                    journal.append({"n": 1})
+                assert exc_info.value.errno == errno.ENOSPC
+            journal.append({"n": 2})  # budget spent: space came back
+        assert _records(journal) == [{"n": 2}]
+        assert fs.failures == 2
+
+    def test_carries_the_configured_errno(self, journal):
+        fs = FaultFS()
+        fs.add_rule(journal.path, mode="refuse", err=errno.EACCES, budget=1)
+        with fs:
+            with pytest.raises(JournalWriteError) as exc_info:
+                journal.append({"n": 1})
+        assert exc_info.value.errno == errno.EACCES
+
+    def test_reads_keep_working_while_writes_are_down(self, journal):
+        journal.append({"n": 1})
+        fs = FaultFS()
+        fs.add_rule(journal.path, mode="refuse")
+        with fs:
+            with pytest.raises(JournalWriteError):
+                journal.append({"n": 2})
+            assert [json.loads(line) for _, line, _ in journal.iter_lines()] \
+                == [{"n": 1}]
+
+
+class TestPartialMode:
+    def test_leaves_a_torn_tail_repaired_by_the_next_append(self, journal):
+        journal.append({"n": 1})
+        fs = FaultFS()
+        fs.add_rule(journal.path, mode="partial", budget=1)
+        with fs:
+            with pytest.raises(JournalWriteError):
+                journal.append({"n": 2, "pad": "x" * 64})
+            with open(journal.path, "rb") as fh:
+                assert not fh.read().endswith(b"\n")  # genuine torn tail
+            journal.append({"n": 3})
+        # The unacknowledged record was truncated away, never glued onto.
+        assert _records(journal) == [{"n": 1}, {"n": 3}]
+
+
+class TestFsyncMode:
+    def test_complete_but_unacknowledged_write(self, journal):
+        fs = FaultFS()
+        fs.add_rule(journal.path, mode="fsync", budget=1)
+        with fs:
+            with pytest.raises(JournalWriteError):
+                journal.append({"n": 1})
+            # The nastiest shape: the bytes are all there, but the caller
+            # was told the write failed — so a crash-safe caller retries,
+            # and replay must be last-record-wins to absorb the duplicate.
+            assert _records(journal) == [{"n": 1}]
+            journal.append({"n": 1})
+        assert _records(journal) == [{"n": 1}, {"n": 1}]
+
+
+class TestRenameMode:
+    def test_rewrite_fails_and_discards_the_stale_temporary(self, journal):
+        journal.append({"n": 1})
+        journal.append({"n": 2})
+        fs = FaultFS()
+        fs.add_rule(journal.path, mode="rename", budget=1)
+        with fs:
+            with pytest.raises(JournalWriteError):
+                journal.rewrite(['{"n":2}'])
+            assert not os.path.exists(journal.rewrite_path)
+            assert _records(journal) == [{"n": 1}, {"n": 2}]  # old intact
+            journal.rewrite(['{"n":2}'])  # budget spent: swap succeeds
+        assert _records(journal) == [{"n": 2}]
+
+    def test_rename_rules_do_not_affect_appends(self, journal):
+        fs = FaultFS()
+        fs.add_rule(journal.path, mode="rename")
+        with fs:
+            journal.append({"n": 1})
+        assert _records(journal) == [{"n": 1}]
+
+
+class TestScheduling:
+    def test_only_ruled_paths_fail(self, tmp_path):
+        ruled = JsonlJournal(tmp_path / "ruled.jsonl")
+        other = JsonlJournal(tmp_path / "other.jsonl")
+        fs = FaultFS()
+        fs.add_rule(ruled.path, mode="refuse")
+        with fs:
+            other.append({"n": 1})
+            with pytest.raises(JournalWriteError):
+                ruled.append({"n": 1})
+        assert _records(other) == [{"n": 1}]
+
+    def test_arm_disarm_windows(self, journal):
+        fs = FaultFS()
+        fs.add_rule(journal.path, mode="refuse", armed=False)
+        with fs:
+            journal.append({"n": 1})  # disarmed: passes
+            fs.arm(journal.path)
+            with pytest.raises(JournalWriteError):
+                journal.append({"n": 2})
+            fs.disarm()
+            journal.append({"n": 3})
+        assert _records(journal) == [{"n": 1}, {"n": 3}]
+
+    def test_counts_per_mode(self, tmp_path):
+        a = JsonlJournal(tmp_path / "a.jsonl")
+        b = JsonlJournal(tmp_path / "b.jsonl")
+        fs = FaultFS()
+        fs.add_rule(a.path, mode="refuse", budget=2)
+        fs.add_rule(b.path, mode="fsync", budget=1)
+        with fs:
+            for journal in (a, a, b):
+                with pytest.raises(JournalWriteError):
+                    journal.append({"n": 0})
+        assert fs.counts() == {"refuse": 2, "partial": 0, "fsync": 1,
+                               "rename": 0}
+        assert fs.failures == 3
+        assert set(fs.counts()) == set(FAULTFS_MODES)
+
+
+class TestInstallation:
+    def test_install_shadows_and_uninstall_restores(self):
+        saved_open = getattr(journal_mod, "open", None)
+        saved_os = journal_mod.os
+        fs = FaultFS()
+        fs.install()
+        fs.install()  # idempotent
+        assert journal_mod.open == fs._open
+        assert journal_mod.os is not saved_os
+        fs.uninstall()
+        fs.uninstall()  # idempotent
+        assert getattr(journal_mod, "open", None) is saved_open
+        assert journal_mod.os is saved_os
+
+    def test_context_manager_uninstalls_on_error(self, journal):
+        fs = FaultFS()
+        fs.add_rule(journal.path, mode="refuse")
+        saved_os = journal_mod.os
+        with pytest.raises(JournalWriteError):
+            with fs:
+                journal.append({"n": 1})
+                raise AssertionError("append should have failed")
+        assert journal_mod.os is saved_os
+        journal.append({"n": 2})  # world restored
+        assert _records(journal) == [{"n": 2}]

@@ -1,0 +1,85 @@
+"""ChaosPlan: pure seed-derived schedules, stable wire format."""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos.faultfs import FAULTFS_MODES
+from repro.chaos.plan import ChaosPlan
+from repro.exec.executor import ChaosConfig
+
+
+class TestDerive:
+    def test_same_seed_same_plan(self):
+        assert ChaosPlan.derive("s") == ChaosPlan.derive("s")
+
+    def test_different_seeds_differ(self):
+        assert ChaosPlan.derive("a") != ChaosPlan.derive("b")
+
+    def test_rates_stay_probabilities(self):
+        for i in range(50):
+            plan = ChaosPlan.derive(f"p{i}", intensity=3.0)
+            for rate in (plan.fault_rate, plan.kill_rate, plan.hang_rate):
+                assert 0.0 <= rate <= 0.9
+
+    def test_intensity_scales_rates_not_structure(self):
+        full = ChaosPlan.derive("s", intensity=1.0)
+        half = ChaosPlan.derive("s", intensity=0.5)
+        assert half.kill_rate == pytest.approx(full.kill_rate / 2)
+        assert half.fault_rate == pytest.approx(full.fault_rate / 2)
+        assert half.hang_rate == pytest.approx(full.hang_rate / 2)
+        for knob in ("fs_mode", "fs_errno", "fs_budget", "task_timeout",
+                     "kill_every_saves", "restarts", "hang_seconds"):
+            assert getattr(half, knob) == getattr(full, knob)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError, match="intensity"):
+            ChaosPlan.derive("s", intensity=-0.1)
+
+    def test_unknown_fs_mode_rejected(self):
+        plan = ChaosPlan.derive("s")
+        with pytest.raises(ValueError, match="fs_mode"):
+            dataclasses.replace(plan, fs_mode="explode")
+
+    def test_seeds_cover_every_fs_mode(self):
+        modes = {ChaosPlan.derive(f"m{i}").fs_mode for i in range(60)}
+        assert modes == set(FAULTFS_MODES)
+
+
+class TestLayerViews:
+    def test_fault_spec_is_deterministic_simulation_input(self):
+        plan = ChaosPlan.derive("s")
+        assert plan.fault_spec() == plan.fault_spec()
+        assert plan.fault_spec().total_rate == pytest.approx(plan.fault_rate)
+
+    def test_chaos_config_carries_worker_knobs(self):
+        plan = ChaosPlan.derive("s")
+        config = plan.chaos_config()
+        assert isinstance(config, ChaosConfig)
+        assert config.kill_rate == plan.kill_rate
+        assert config.hang_rate == plan.hang_rate
+        assert config.hang_seconds == plan.hang_seconds
+
+    def test_chaos_config_none_when_worker_layer_quiet(self):
+        plan = dataclasses.replace(
+            ChaosPlan.derive("s"), kill_rate=0.0, hang_rate=0.0
+        )
+        assert plan.chaos_config() is None
+
+    def test_fs_rule_kwargs_feed_add_rule(self):
+        plan = ChaosPlan.derive("s")
+        kwargs = plan.fs_rule_kwargs()
+        assert kwargs == {"mode": plan.fs_mode, "err": plan.fs_errno,
+                          "budget": plan.fs_budget}
+
+
+class TestWire:
+    def test_round_trip(self):
+        plan = ChaosPlan.derive("s", intensity=0.7)
+        assert ChaosPlan.from_wire(plan.to_wire()) == plan
+
+    def test_wire_is_plain_json_data(self):
+        import json
+
+        wire = ChaosPlan.derive("s").to_wire()
+        assert json.loads(json.dumps(wire)) == wire

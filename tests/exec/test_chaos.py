@@ -54,6 +54,84 @@ class TestChaosConfig:
         assert config.seed == "42"
 
 
+class TestChaosEnvStrict:
+    """Malformed REPRO_CHAOS_* values fail fast, not mid-grid."""
+
+    def test_blank_values_mean_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_RATE", "  ")
+        monkeypatch.delenv("REPRO_CHAOS_HANG_RATE", raising=False)
+        assert ChaosConfig.from_env() is None
+
+    @pytest.mark.parametrize("name, value", [
+        ("REPRO_CHAOS_RATE", "lots"),
+        ("REPRO_CHAOS_RATE", "1.5"),
+        ("REPRO_CHAOS_RATE", "-0.1"),
+        ("REPRO_CHAOS_HANG_RATE", "often"),
+        ("REPRO_CHAOS_HANG_RATE", "2"),
+        ("REPRO_CHAOS_HANG_SECONDS", "soon"),
+        ("REPRO_CHAOS_HANG_SECONDS", "-1"),
+    ])
+    def test_malformed_values_raise_with_the_variable_name(
+        self, monkeypatch, name, value
+    ):
+        for var in ("REPRO_CHAOS_RATE", "REPRO_CHAOS_HANG_RATE",
+                    "REPRO_CHAOS_HANG_SECONDS"):
+            monkeypatch.delenv(var, raising=False)
+        monkeypatch.setenv("REPRO_CHAOS_RATE", "0.1")
+        monkeypatch.setenv(name, value)
+        with pytest.raises(ValueError, match=name):
+            ChaosConfig.from_env()
+
+    def test_hang_only_env_defaults_kill_rate_to_zero(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_RATE", raising=False)
+        monkeypatch.setenv("REPRO_CHAOS_HANG_RATE", "0.3")
+        monkeypatch.setenv("REPRO_CHAOS_HANG_SECONDS", "0.05")
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "7")
+        config = ChaosConfig.from_env()
+        assert config.kill_rate == 0.0
+        assert config.hang_rate == 0.3
+        assert config.hang_seconds == 0.05
+        assert config.seed == "7"
+
+
+class TestChaosHang:
+    def test_hang_decisions_deterministic_and_independent_of_kills(self):
+        a = ChaosConfig(kill_rate=0.0, hang_rate=0.5, seed=7)
+        b = ChaosConfig(kill_rate=1.0, hang_rate=0.5, seed=7)
+        decisions = [(t, r) for t in range(20) for r in range(3)]
+        assert [a.should_hang(t, r) for t, r in decisions] == [
+            b.should_hang(t, r) for t, r in decisions
+        ]
+        assert {a.should_hang(3, r) for r in range(32)} == {True, False}
+
+    def test_rate_zero_never_hangs_rate_one_always(self):
+        never = ChaosConfig(kill_rate=0.0, hang_rate=0.0, seed=1)
+        always = ChaosConfig(kill_rate=0.0, hang_rate=1.0, seed=1)
+        assert not any(never.should_hang(t, 0) for t in range(50))
+        assert all(always.should_hang(t, 0) for t in range(50))
+
+    def test_short_hangs_delay_but_results_are_exact(self):
+        import time as _time
+
+        chaos = ChaosConfig(kill_rate=0.0, hang_rate=1.0, hang_seconds=0.2,
+                            seed=1)
+        started = _time.monotonic()
+        results = _chaos_executor(chaos, n_workers=2).map(_square, [1, 2, 3, 4])
+        assert results == [1, 4, 9, 16]
+        assert _time.monotonic() - started >= 0.2  # the hangs really ran
+
+    def test_hang_past_the_deadline_is_killed_as_timeout(self):
+        # The hang swallows the whole wall-clock budget without a single
+        # heartbeat; the watchdog must kill the worker, not wait it out.
+        chaos = ChaosConfig(kill_rate=0.0, hang_rate=1.0, hang_seconds=30.0,
+                            seed=1)
+        results = _chaos_executor(
+            chaos, n_workers=2, task_timeout=0.4, max_task_retries=0
+        ).map(_square, [5, 6], on_failure="quarantine")
+        assert all(isinstance(r, CellFailure) for r in results)
+        assert {r.kind for r in results} == {"timeout"}
+
+
 class TestChaosRecovery:
     def test_grid_survives_injected_kills_bitwise_equal_to_serial(self):
         # Under `make chaos` the env config takes over; default pressure

@@ -1,52 +1,21 @@
-"""A failing-filesystem shim for journal fault-injection tests.
+"""Thin pytest shim over :mod:`repro.chaos.faultfs`.
 
-:class:`FailingFS` shadows ``open`` inside :mod:`repro.exec.journal`
-(a module-level name wins the lookup over the builtin), so OSErrors can
-be injected for exactly one journal path while every other file — test
-fixtures, pytest internals, the registry under a different path — keeps
-working.  Two failure shapes:
-
-* ``partial=False`` (default): the write-mode ``open`` itself raises
-  (disk full before a byte lands) — the journal is untouched;
-* ``partial=True``: the open succeeds but the first ``write`` persists
-  only half the bytes, fsyncs them, and then raises — a genuine torn
-  tail, exactly what a crashing disk leaves behind.
+The failing filesystem was promoted into the library
+(:class:`repro.chaos.faultfs.FaultFS`) so the chaos orchestrator can
+schedule filesystem pressure alongside worker kills and evaluator
+faults.  Existing suites keep the original one-path ``FailingFS``
+surface; new tests should use :class:`FaultFS` directly for per-path
+rules, fault budgets, and the fsync/rename failure modes.
 """
 
 from __future__ import annotations
 
-import builtins
 import errno
-import os
 
 import repro.exec.journal as _journal_mod
+from repro.chaos.faultfs import FaultFS
 
 __all__ = ["FailingFS"]
-
-
-class _PartialWriteFile:
-    """File wrapper whose first write persists half the bytes, then fails."""
-
-    def __init__(self, fh, err: int) -> None:
-        self._fh = fh
-        self._err = err
-
-    def write(self, data):
-        kept = data[: max(1, len(data) // 2)]
-        self._fh.write(kept)
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
-        raise OSError(self._err, os.strerror(self._err))
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        self._fh.close()
-        return False
-
-    def __getattr__(self, name):
-        return getattr(self._fh, name)
 
 
 class FailingFS:
@@ -54,27 +23,38 @@ class FailingFS:
 
     def __init__(self, monkeypatch, path, err: int = errno.ENOSPC,
                  partial: bool = False) -> None:
-        self.path = os.fspath(path)
-        self.err = err
-        self.partial = partial
-        self.armed = False
-        self.failures = 0
-        monkeypatch.setattr(_journal_mod, "open", self._open, raising=False)
+        self._fs = FaultFS()
+        self._rule = self._fs.add_rule(
+            path, mode="partial" if partial else "refuse", err=err,
+            armed=False,
+        )
+        # monkeypatch (not FaultFS.install) so pytest auto-restores the
+        # journal module even when a test errors out mid-body.
+        monkeypatch.setattr(_journal_mod, "open", self._fs._open,
+                            raising=False)
+
+    @property
+    def path(self) -> str:
+        return self._rule.path
+
+    @property
+    def err(self) -> int:
+        return self._rule.err
+
+    @property
+    def partial(self) -> bool:
+        return self._rule.mode == "partial"
+
+    @property
+    def armed(self) -> bool:
+        return self._rule.armed
+
+    @property
+    def failures(self) -> int:
+        return self._rule.failures
 
     def arm(self) -> None:
-        self.armed = True
+        self._rule.armed = True
 
     def disarm(self) -> None:
-        self.armed = False
-
-    def _open(self, file, mode="r", *args, **kwargs):
-        # Inject only on append/truncate opens; "rb+" (tail repair) and
-        # plain reads stay functional, as they do on a full disk.
-        is_write = "w" in mode or "a" in mode
-        if self.armed and is_write and os.fspath(file) == self.path:
-            self.failures += 1
-            if self.partial:
-                fh = builtins.open(file, mode, *args, **kwargs)
-                return _PartialWriteFile(fh, self.err)
-            raise OSError(self.err, os.strerror(self.err), file)
-        return builtins.open(file, mode, *args, **kwargs)
+        self._rule.armed = False

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.perf",
     "repro.search",
     "repro.service",
+    "repro.chaos",
     "repro.transfer",
     "repro.tuner",
     "repro.tuner.techniques",
