@@ -2,7 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-session faults guard chaos chaos-smoke service report examples clean
+.PHONY: install test lint bench bench-session faults guard chaos chaos-smoke meta meta-smoke service report examples clean
+
+# Meta-campaign knobs for `make meta` (override on the command line).
+META_SEEDS ?= 2
+META_CANDIDATES ?= 4
+META_NMAX ?= 30
 
 # Chaos knobs for `make chaos` (override on the command line).
 CHAOS_RATE ?= 0.5
@@ -71,6 +76,22 @@ chaos:
 # chaos`.
 chaos-smoke:
 	$(PYTHON) -m pytest -x -q tests/chaos/test_smoke.py
+
+# The self-meta-tuning campaign: search TunerSpec knobs over
+# (kernel, machine-pair) cells through the journaled grid and write the
+# recommendation artifacts (benchmarks/results/meta_recommendations.*).
+# Journaled under benchmarks/results/registry/, so a killed campaign
+# resumes with zero re-executed cells (REPRO_RESUME applies).
+meta:
+	$(PYTHON) -m repro.meta.campaign --seeds $(META_SEEDS) \
+		--candidates $(META_CANDIDATES) --nmax $(META_NMAX) \
+		--registry benchmarks/results/registry/meta.jsonl
+
+# Bounded meta-tuning smoke: a tiny meta-grid run as a subprocess,
+# SIGKILLed mid-campaign, and resumed with zero re-executed cells —
+# the tier-1-friendly slice of `make meta`.
+meta-smoke:
+	$(PYTHON) -m pytest -x -q tests/meta/test_smoke.py
 
 # The tuning-service robustness suite: multi-tenant load (latency
 # percentiles vs the committed BENCH_service.json baseline) plus the

@@ -59,4 +59,9 @@ def __getattr__(name):
         from repro.searchspace import SearchSpace
 
         return SearchSpace
+    if name in ("TunerSpec", "ForestSpec", "GateSpec", "PoolSpec",
+                "SMBOSpec", "EngineSpec", "DEFAULT_SPEC"):
+        import repro.spec as _spec
+
+        return getattr(_spec, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -247,6 +247,8 @@ DEAD_CODE_SUBPACKAGES = (
     f"{PACKAGE}.ml",
     f"{PACKAGE}.perf",
     f"{PACKAGE}.chaos",
+    f"{PACKAGE}.meta",
+    f"{PACKAGE}.spec",
 )
 
 
@@ -347,7 +349,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"lint: {len(errors)} finding(s)")
         return 1
     print("lint: clean (import graph acyclic, no hidden internal imports, "
-          "no dead search/transfer/reliability/service/ml/perf/chaos code)")
+          "no dead search/transfer/reliability/service/ml/perf/chaos/meta/"
+          "spec code)")
     return 0
 
 

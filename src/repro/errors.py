@@ -21,8 +21,27 @@ class ConfigurationError(SearchSpaceError):
     """A configuration does not belong to the search space it is used with."""
 
 
+class SpecError(ReproError, ValueError):
+    """A tuner hyperparameter spec is out of range or cannot be decoded.
+
+    Also a :class:`ValueError`: a spec is plain configuration data, and
+    callers validating user input (service payloads, CLI flags, JSON
+    files) expect range violations and malformed wire formats to look
+    like value errors, not library internals.
+    """
+
+
 class ModelError(ReproError):
     """Surrogate-model fitting or prediction failure."""
+
+
+class PolicyError(ModelError, SpecError):
+    """A :class:`repro.transfer.guard.GuardPolicy` knob is out of range.
+
+    Both a :class:`ModelError` (the policy configures the model guard —
+    pre-existing callers catch that) and a :class:`SpecError` (it is
+    hyperparameter configuration, so it is also a ``ValueError`` like
+    every other rejected spec knob)."""
 
 
 class NotFittedError(ModelError):

@@ -105,14 +105,20 @@ def build_session(
     compiler: str = "gcc",
     seed: object = 0,
     nmax: int = 100,
-    pool_size: int = 10_000,
+    pool_size: int | None = None,
     openmp: bool = False,
     threads: int | dict = 1,
     budget_seconds: float | None = None,
     variants: tuple[str, ...] = ("RSp", "RSb", "RSpf", "RSbf"),
     learner_factory: Callable | None = None,
+    spec=None,
 ) -> TransferSession:
-    """A fully configured transfer session for one experiment cell."""
+    """A fully configured transfer session for one experiment cell.
+
+    ``spec`` (a :class:`repro.spec.TunerSpec`) threads tuner
+    hyperparameters through to every search the session runs;
+    ``pool_size=None`` (default) defers to it.
+    """
     kernel, factory = build_problem(problem)
     return TransferSession(
         kernel=kernel,
@@ -128,4 +134,5 @@ def build_session(
         variants=variants,
         evaluator_factory=factory,
         learner_factory=learner_factory,
+        spec=spec,
     )

@@ -1,0 +1,181 @@
+"""Scoring one candidate ``TunerSpec`` by running the tuner with it.
+
+The meta-objective is the mean *performance speedup over plain RS*
+(``Prf.Imp`` of Section IV-D) that the candidate's hyperparameters buy
+across the session's transfer variants: the inner session runs RS and
+the model-guided variants under common random numbers, so the ratio
+isolates exactly what the hyperparameters changed.  Search-time
+speedups are reported alongside but not optimized — a spec that prunes
+everything is fast and useless.
+
+Budget accounting is two-level (see ``docs/meta.md``): every inner
+search charges its own simulated clock exactly as always, and the
+meta-level evaluator charges the *sum of inner elapsed seconds* to the
+meta clock — one meta-evaluation costs what the tuning session it ran
+would have cost, so a budgeted meta-search makes the same time
+trade-offs a practitioner would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.simclock import SimClock
+from repro.search.random_search import random_search
+from repro.search.result import SearchTrace
+from repro.search.stream import SharedStream
+from repro.spec import TunerSpec
+
+__all__ = [
+    "evaluate_spec",
+    "MetaTuningEvaluator",
+    "meta_random_search",
+]
+
+#: inner transfer variants scored by default: the two model-guided
+#: searches whose outcomes the spec's knobs actually move.
+DEFAULT_VARIANTS = ("RSp", "RSb")
+
+
+def evaluate_spec(
+    spec: TunerSpec,
+    problem: str = "MM",
+    source: str = "westmere",
+    target: str = "sandybridge",
+    nmax: int = 30,
+    seed: object = 0,
+    variants: tuple[str, ...] = DEFAULT_VARIANTS,
+) -> dict:
+    """Run one full inner tuning session under ``spec``; score it.
+
+    Returns a JSON-safe dict: the spec wire payload, per-variant
+    performance (``prf``) and search-time (``srh``) speedups, the
+    scalar ``objective`` (mean Prf across variants, higher is better),
+    its reciprocal ``cost`` (a runtime-shaped value the search engine
+    can minimize), and the inner-budget accounting
+    (``inner_evaluations``, ``inner_elapsed``).
+    """
+    from repro.experiments.harness import build_session
+
+    outcome = build_session(
+        problem=problem,
+        source=source,
+        target=target,
+        seed=seed,
+        nmax=nmax,
+        variants=tuple(variants),
+        spec=spec,
+    ).run()
+    prf = {name: rep.performance for name, rep in outcome.reports.items()}
+    srh = {name: rep.search_time for name, rep in outcome.reports.items()}
+    scored = [v for v in prf.values() if v == v]  # drop NaN
+    objective = sum(scored) / len(scored) if scored else float("nan")
+    traces = [outcome.source_trace, *outcome.traces.values()]
+    return {
+        "spec": spec.to_dict(),
+        "fingerprint": spec.fingerprint(),
+        "problem": problem,
+        "source": source,
+        "target": target,
+        "seed": str(seed),
+        "nmax": nmax,
+        "variants": list(variants),
+        "prf": prf,
+        "srh": srh,
+        "objective": objective,
+        "cost": (1.0 / objective) if objective and objective > 0 else float("inf"),
+        "inner_evaluations": sum(t.n_evaluations for t in traces),
+        "inner_elapsed": sum(t.total_elapsed for t in traces),
+    }
+
+
+@dataclass(frozen=True)
+class _MetaMeasurement:
+    """One meta-evaluation outcome (engine ``Measurement`` protocol)."""
+
+    runtime_seconds: float
+
+
+class MetaTuningEvaluator:
+    """An engine-compatible evaluator whose "kernel" is the tuner.
+
+    Satisfies :class:`repro.search.protocols.Evaluator`: ``clock`` is a
+    :class:`~repro.perf.simclock.SimClock` charged with each inner
+    session's total simulated time, and ``evaluate`` maps a meta-space
+    configuration (dotted spec paths → values) to the candidate spec's
+    ``cost``.  Feed it to :func:`repro.search.random_search` (or any
+    other engine-based search) over a :func:`repro.meta.space.meta_space`
+    and the tuner literally tunes itself through its own machinery.
+    """
+
+    def __init__(
+        self,
+        space,
+        problem: str = "MM",
+        source: str = "westmere",
+        target: str = "sandybridge",
+        nmax: int = 30,
+        seed: object = 0,
+        variants: tuple[str, ...] = DEFAULT_VARIANTS,
+        budget_seconds: float | None = None,
+        base: TunerSpec | None = None,
+    ) -> None:
+        self.space = space
+        self.problem = problem
+        self.source = source
+        self.target = target
+        self.nmax = nmax
+        self.seed = seed
+        self.variants = tuple(variants)
+        self.base = base
+        self.clock = SimClock(budget_seconds)
+        self.results: list[dict] = []  # one payload per evaluation, in order
+
+    def evaluate(self, config) -> _MetaMeasurement:
+        from repro.meta.space import spec_at
+
+        payload = evaluate_spec(
+            spec_at(config, base=self.base),
+            problem=self.problem,
+            source=self.source,
+            target=self.target,
+            nmax=self.nmax,
+            seed=self.seed,
+            variants=self.variants,
+        )
+        # Charge before recording, like OrioEvaluator: a meta-evaluation
+        # the budget cannot afford raises BudgetExhaustedError and is
+        # dropped from both the trace and ``results``.
+        self.clock.advance(payload["inner_elapsed"])
+        self.results.append(payload)
+        return _MetaMeasurement(runtime_seconds=payload["cost"])
+
+
+def meta_random_search(
+    space,
+    n_candidates: int = 8,
+    problem: str = "MM",
+    source: str = "westmere",
+    target: str = "sandybridge",
+    nmax: int = 30,
+    seed: object = 0,
+    variants: tuple[str, ...] = DEFAULT_VARIANTS,
+    budget_seconds: float | None = None,
+) -> tuple[SearchTrace, MetaTuningEvaluator]:
+    """Random meta-search over ``space`` through the real engine.
+
+    Returns the meta-level :class:`SearchTrace` (best record = best
+    candidate spec, runtimes = candidate costs) and the evaluator,
+    whose ``results`` list holds each candidate's full score payload.
+    """
+    evaluator = MetaTuningEvaluator(
+        space, problem=problem, source=source, target=target,
+        nmax=nmax, seed=seed, variants=variants,
+        budget_seconds=budget_seconds,
+    )
+    stream = SharedStream(space, seed=("meta", space.name, str(seed)))
+    trace = random_search(
+        evaluator, stream, nmax=min(n_candidates, space.cardinality),
+        name="meta-RS",
+    )
+    return trace, evaluator

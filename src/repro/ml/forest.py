@@ -212,6 +212,32 @@ class RandomForestRegressor(Regressor):
         self._oob_prediction: np.ndarray | None = None
         self._importances: np.ndarray | None = None
 
+    @classmethod
+    def from_spec(
+        cls, spec=None, n_jobs: int | None = None, engine: str = "presort"
+    ) -> "RandomForestRegressor":
+        """Build a forest from a :class:`repro.spec.ForestSpec`.
+
+        The single construction path for every forest the tuner builds
+        (surrogate and SMBO refit alike), so hyperparameter defaults
+        live in one place.  ``n_jobs``/``engine`` stay separate: they
+        are execution details, not tuner hyperparameters.
+        """
+        from repro.spec import ForestSpec
+
+        if spec is None:
+            spec = ForestSpec()
+        return cls(
+            n_estimators=spec.n_estimators,
+            max_features=spec.max_features,
+            max_depth=spec.max_depth,
+            min_samples_split=spec.min_samples_split,
+            min_samples_leaf=spec.min_samples_leaf,
+            seed=spec.seed,
+            n_jobs=n_jobs,
+            engine=engine,
+        )
+
     def _tree_params(self) -> dict:
         return {
             "max_depth": self.max_depth,

@@ -25,6 +25,7 @@ from repro.search.proposers import PoolRankProposer
 from repro.search.protocols import SurrogateModel
 from repro.search.result import SearchTrace
 from repro.searchspace.space import SearchSpace
+from repro.spec import UNSET, TunerSpec, resolve_spec
 
 __all__ = ["biased_search", "hybrid_search"]
 
@@ -50,12 +51,13 @@ def biased_search(
     space: SearchSpace,
     surrogate: SurrogateModel,
     nmax: int = 100,
-    pool_size: int = 10_000,
+    pool_size: int | None = None,
     name: str = "RSb",
     checkpoint=None,
-    guard=None,
+    guard=UNSET,
     stream=None,
-    batch_size: int | None = 64,
+    batch_size=UNSET,
+    spec: TunerSpec | None = None,
 ) -> SearchTrace:
     """Run RSb for at most ``nmax`` evaluations.
 
@@ -74,7 +76,18 @@ def biased_search(
     numbers — once it is REVOKED, so ``stream`` is required when the
     guard is enabled.  ``guard=None`` and ``GuardPolicy.disabled()``
     are byte-identical to an unguarded run.
+
+    ``spec`` (a :class:`repro.spec.TunerSpec`) supplies defaults for
+    ``pool_size``, ``guard``, and ``batch_size`` when those are not
+    passed explicitly; the default spec reproduces historical behavior.
     """
+    spec = resolve_spec(spec)
+    if pool_size is None:
+        pool_size = spec.pool.size
+    if guard is UNSET:
+        guard = spec.guard
+    if batch_size is UNSET:
+        batch_size = spec.engine.batch_size
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
     if pool_size < 10:
@@ -100,13 +113,14 @@ def hybrid_search(
     space: SearchSpace,
     surrogate: SurrogateModel,
     nmax: int = 100,
-    pool_size: int = 10_000,
-    delta_percent: float = 20.0,
+    pool_size: int | None = None,
+    delta_percent: float | None = None,
     name: str = "RSpb",
     checkpoint=None,
-    guard=None,
+    guard=UNSET,
     stream=None,
-    batch_size: int | None = 64,
+    batch_size=UNSET,
+    spec: TunerSpec | None = None,
 ) -> SearchTrace:
     """Run the prune-then-bias hybrid (RSpb) for at most ``nmax``
     evaluations.
@@ -127,8 +141,19 @@ def hybrid_search(
 
     ``guard``/``stream`` behave as in :func:`biased_search` (the gate
     additionally widens its cutoff and audits under suspicion, as in
-    guarded :func:`~repro.search.pruning.pruned_search`).
+    guarded :func:`~repro.search.pruning.pruned_search`).  ``spec``
+    supplies defaults for ``pool_size``, ``delta_percent``, ``guard``,
+    and ``batch_size`` when those are not passed explicitly.
     """
+    spec = resolve_spec(spec)
+    if pool_size is None:
+        pool_size = spec.pool.size
+    if delta_percent is None:
+        delta_percent = spec.gate.delta_percent
+    if guard is UNSET:
+        guard = spec.guard
+    if batch_size is UNSET:
+        batch_size = spec.engine.batch_size
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
     if pool_size < 10:

@@ -48,6 +48,7 @@ from repro.ml import _native
 from repro.search.protocols import EngineContext, Gate, Proposal, Proposer
 from repro.search.result import EvaluationRecord, SearchTrace
 from repro.searchspace.space import SearchSpace
+from repro.spec import UNSET, TunerSpec, resolve_spec
 
 __all__ = [
     "SearchEngine",
@@ -181,8 +182,18 @@ class SearchEngine:
         rewind_position_on_budget_break: bool = True,
         stream_positions_metadata: bool = False,
         checkpoint=None,
-        batch_size: int | None = None,
+        batch_size=UNSET,
+        spec: TunerSpec | None = None,
     ) -> None:
+        # ``batch_size`` beats ``spec.engine.batch_size`` beats the
+        # historical default (None — the serial loop).  The sentinel
+        # keeps explicit ``batch_size=None`` meaning "serial", exactly
+        # as before the spec layer existed.
+        if batch_size is UNSET:
+            batch_size = (
+                resolve_spec(spec).engine.batch_size
+                if spec is not None else None
+            )
         if nmax < 1:
             raise SearchError(f"nmax must be >= 1, got {nmax}")
         if failure_mode not in ("record", "raise"):

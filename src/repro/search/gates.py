@@ -86,6 +86,25 @@ class QuantileGate:
         self.cutoff: float | None = None
         self._scored = None  # pool predictions, kept for cutoff_at()
 
+    @classmethod
+    def from_spec(
+        cls,
+        space: SearchSpace,
+        surrogate: SurrogateModel,
+        spec,
+        rng_label: str = "rsp-pool",
+    ) -> "QuantileGate":
+        """Build the gate from a :class:`repro.spec.TunerSpec` — δ from
+        its :class:`~repro.spec.GateSpec`, the pool size from its
+        :class:`~repro.spec.PoolSpec`."""
+        return cls(
+            space,
+            surrogate,
+            delta_percent=spec.gate.delta_percent,
+            pool_size=spec.pool.size,
+            rng_label=rng_label,
+        )
+
     def setup(self, ctx: EngineContext) -> None:
         clock = ctx.clock
         if not ctx.resumed:

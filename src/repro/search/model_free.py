@@ -28,6 +28,7 @@ from repro.search.gates import ReplayThresholdGate
 from repro.search.proposers import ReplayProposer
 from repro.search.result import SearchTrace
 from repro.searchspace.space import Configuration
+from repro.spec import UNSET, TunerSpec, resolve_spec
 
 __all__ = ["model_free_pruned_search", "model_free_biased_search"]
 
@@ -41,13 +42,23 @@ def model_free_pruned_search(
     evaluator,
     training: Sequence[tuple[Configuration, float]],
     nmax: int = 100,
-    delta_percent: float = 20.0,
+    delta_percent: float | None = None,
     name: str = "RSpf",
     checkpoint=None,
-    batch_size: int | None = 64,
+    batch_size=UNSET,
+    spec: TunerSpec | None = None,
 ) -> SearchTrace:
-    """RSpf: threshold replay of the source machine's evaluations."""
+    """RSpf: threshold replay of the source machine's evaluations.
+
+    ``spec`` (a :class:`repro.spec.TunerSpec`) supplies defaults for
+    ``delta_percent`` and ``batch_size`` when not passed explicitly.
+    """
     _check_training(training)
+    spec = resolve_spec(spec)
+    if delta_percent is None:
+        delta_percent = spec.gate.delta_percent
+    if batch_size is UNSET:
+        batch_size = spec.engine.batch_size
     if not 0.0 < delta_percent < 100.0:
         raise SearchError(f"delta_percent must be in (0, 100), got {delta_percent}")
     engine = SearchEngine(
@@ -71,10 +82,17 @@ def model_free_biased_search(
     nmax: int = 100,
     name: str = "RSbf",
     checkpoint=None,
-    batch_size: int | None = 64,
+    batch_size=UNSET,
+    spec: TunerSpec | None = None,
 ) -> SearchTrace:
-    """RSbf: sorted replay of the source machine's evaluations."""
+    """RSbf: sorted replay of the source machine's evaluations.
+
+    ``spec`` supplies the default ``batch_size`` when not passed.
+    """
     _check_training(training)
+    spec = resolve_spec(spec)
+    if batch_size is UNSET:
+        batch_size = spec.engine.batch_size
     engine = SearchEngine(
         evaluator,
         ReplayProposer(training, sort=True),

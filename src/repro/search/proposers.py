@@ -355,7 +355,10 @@ class SMBOProposer(BaseProposer):
         source_surrogate: SurrogateModel | None = None,
         source_data: Sequence[tuple[Configuration, float]] | None = None,
         refit_every: int = 1,
+        forest: "ForestSpec | None" = None,
     ) -> None:
+        from repro.spec import SMBOSpec
+
         self.space = space
         self.rng = rng
         self.n_initial = n_initial
@@ -365,6 +368,10 @@ class SMBOProposer(BaseProposer):
         self.source_surrogate = source_surrogate
         self.source_data = source_data
         self.refit_every = refit_every
+        # The refit forest's hyperparameters come from the shared
+        # ForestSpec default (deduplicated with the surrogate's), not a
+        # second hard-coded copy.
+        self.forest = forest if forest is not None else SMBOSpec().forest
         self._design: list[Configuration] = []
         self._block_design: list[Configuration] = []
         self._observations: list[tuple[Configuration, float]] = []
@@ -424,9 +431,7 @@ class SMBOProposer(BaseProposer):
                 training += [(c, y * scale) for c, y in self.source_data]
             X = encode_cached(self.space, [c for c, _ in training])
             y = np.log([v for _, v in training])
-            self._model = RandomForestRegressor(
-                n_estimators=48, min_samples_leaf=2, seed=7
-            )
+            self._model = RandomForestRegressor.from_spec(self.forest)
             self._model.fit(X, y)
             clock.advance(0.5 + 2e-3 * len(training))  # simulated fit cost
         n = min(self.pool_size, self.space.cardinality)

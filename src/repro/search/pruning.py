@@ -23,6 +23,7 @@ from repro.search.proposers import StreamProposer
 from repro.search.protocols import SurrogateModel
 from repro.search.result import SearchTrace
 from repro.search.stream import SharedStream
+from repro.spec import UNSET, TunerSpec, resolve_spec
 
 __all__ = ["pruned_search"]
 
@@ -32,14 +33,15 @@ def pruned_search(
     stream: SharedStream,
     surrogate: SurrogateModel,
     nmax: int = 100,
-    pool_size: int = 10_000,
-    delta_percent: float = 20.0,
+    pool_size: int | None = None,
+    delta_percent: float | None = None,
     max_stream_positions: int | None = None,
-    prefetch: int = 256,
+    prefetch: int | None = None,
     name: str = "RSp",
     checkpoint=None,
-    guard=None,
-    batch_size: int | None = 64,
+    guard=UNSET,
+    batch_size=UNSET,
+    spec: TunerSpec | None = None,
 ) -> SearchTrace:
     """Run RSp for at most ``nmax`` evaluations.
 
@@ -75,7 +77,23 @@ def pruned_search(
     ``batch_size`` selects the engine's block execution (``None`` for
     the serial loop); traces are bit-identical either way — see
     :class:`~repro.search.engine.SearchEngine`.
+
+    ``spec`` (a :class:`repro.spec.TunerSpec`) supplies defaults for
+    every knob not passed explicitly — ``pool_size``,
+    ``delta_percent``, ``prefetch``, ``guard``, ``batch_size`` — and
+    the default spec reproduces historical behavior exactly.
     """
+    spec = resolve_spec(spec)
+    if pool_size is None:
+        pool_size = spec.pool.size
+    if delta_percent is None:
+        delta_percent = spec.gate.delta_percent
+    if prefetch is None:
+        prefetch = spec.pool.prefetch
+    if guard is UNSET:
+        guard = spec.guard
+    if batch_size is UNSET:
+        batch_size = spec.engine.batch_size
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
     if not 0.0 < delta_percent < 100.0:

@@ -12,6 +12,7 @@ from repro.search.engine import SearchEngine, record_failure, record_measurement
 from repro.search.proposers import StreamProposer
 from repro.search.result import SearchTrace
 from repro.search.stream import SharedStream
+from repro.spec import UNSET, TunerSpec, resolve_spec
 
 # record_measurement / record_failure live in the engine (their only
 # caller); re-exported here for backward compatibility.
@@ -24,7 +25,8 @@ def random_search(
     nmax: int = 100,
     name: str = "RS",
     checkpoint=None,
-    batch_size: int | None = 64,
+    batch_size=UNSET,
+    spec: TunerSpec | None = None,
 ) -> SearchTrace:
     """Run RS for at most ``nmax`` evaluations.
 
@@ -48,8 +50,13 @@ def random_search(
 
     ``batch_size`` selects the engine's block execution (``None`` for
     the serial loop); traces are bit-identical either way — see
-    :class:`~repro.search.engine.SearchEngine`.
+    :class:`~repro.search.engine.SearchEngine`.  When not passed it
+    comes from ``spec`` (a :class:`repro.spec.TunerSpec`; the default
+    spec reproduces historical behavior exactly).
     """
+    spec = resolve_spec(spec)
+    if batch_size is UNSET:
+        batch_size = spec.engine.batch_size
     engine = SearchEngine(
         evaluator,
         StreamProposer(stream),

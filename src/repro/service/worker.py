@@ -23,6 +23,13 @@ Payload kinds:
     A full :class:`~repro.transfer.session.TransferSession` cell — the
     paper's experiment as a service job.
 
+``search`` and ``transfer`` payloads optionally carry a ``"spec"``
+key: a versioned :class:`~repro.spec.TunerSpec` wire dict (see
+:meth:`~repro.spec.TunerSpec.to_dict`) that threads tuner
+hyperparameters through the job.  Because the spec is part of the
+payload it is part of the job's fingerprint — two jobs differing only
+in hyperparameters journal as distinct cells.
+
 Results are JSON-safe dicts: they are journaled, recovered, and
 returned to clients as-is.
 """
@@ -78,6 +85,22 @@ def _run_probe(payload: dict) -> dict:
     return {"kind": "probe", "value": acc, "work": work}
 
 
+def _payload_spec(payload: dict):
+    """Decode the optional ``"spec"`` key of a job payload.
+
+    A :class:`~repro.spec.TunerSpec` wire dict rides inside the JSON
+    payload; decoding re-validates every knob, so a malformed or
+    version-skewed spec fails the job loudly at dispatch rather than
+    silently mistuning the search.  Returns ``None`` when absent.
+    """
+    wire = payload.get("spec")
+    if wire is None:
+        return None
+    from repro.spec import TunerSpec
+
+    return TunerSpec.from_dict(wire)
+
+
 def _run_search(payload: dict) -> dict:
     from repro.kernels import get_kernel
     from repro.machines import get_machine
@@ -89,11 +112,12 @@ def _run_search(payload: dict) -> dict:
     machine = get_machine(str(payload.get("machine", "sandybridge")))
     nmax = int(payload.get("nmax", 20))
     seed = payload.get("seed", 0)
+    spec = _payload_spec(payload)
     evaluator = OrioEvaluator(kernel, machine)
     stream = SharedStream(kernel.space, seed=("service", str(seed)))
-    trace = random_search(evaluator, stream, nmax=nmax)
+    trace = random_search(evaluator, stream, nmax=nmax, spec=spec)
     best = trace.best()
-    return {
+    result = {
         "kind": "search",
         "kernel": kernel.name,
         "machine": machine.name,
@@ -103,11 +127,15 @@ def _run_search(payload: dict) -> dict:
         "total_elapsed": trace.total_elapsed,
         "trace_digest": trace_digest(trace),
     }
+    if spec is not None:
+        result["spec_fingerprint"] = spec.fingerprint()
+    return result
 
 
 def _run_transfer(payload: dict) -> dict:
     from repro.experiments.harness import build_session
 
+    spec = _payload_spec(payload)
     session = build_session(
         problem=str(payload.get("problem", "MM")),
         source=str(payload.get("source", "westmere")),
@@ -116,9 +144,10 @@ def _run_transfer(payload: dict) -> dict:
         nmax=int(payload.get("nmax", 30)),
         pool_size=int(payload.get("pool_size", 2000)),
         variants=tuple(payload.get("variants", ("RSp", "RSb"))),
+        spec=spec,
     )
     outcome = session.run()
-    return {
+    result = {
         "kind": "transfer",
         "kernel": outcome.kernel,
         "source": outcome.source,
@@ -136,6 +165,9 @@ def _run_transfer(payload: dict) -> dict:
             for name, trace in sorted(outcome.traces.items())
         },
     }
+    if spec is not None:
+        result["spec_fingerprint"] = spec.fingerprint()
+    return result
 
 
 _KINDS = {

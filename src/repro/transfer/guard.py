@@ -39,7 +39,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ModelError
+from repro.errors import ModelError, PolicyError
 
 __all__ = [
     "TRUSTED",
@@ -217,22 +217,29 @@ class GuardPolicy:
 
     def __post_init__(self) -> None:
         if self.min_evidence < 2:
-            raise ModelError("min_evidence must be >= 2")
-        if not (-1.0 <= self.revoke_rho <= self.suspect_rho <= self.recover_rho <= 1.0):
-            raise ModelError(
-                "need -1 <= revoke_rho <= suspect_rho <= recover_rho <= 1, got "
+            raise PolicyError("min_evidence must be >= 2")
+        for name in ("revoke_rho", "suspect_rho", "recover_rho"):
+            if not -1.0 < getattr(self, name) < 1.0:
+                raise PolicyError(
+                    f"{name} must be strictly inside (-1, 1), got "
+                    f"{getattr(self, name)}"
+                )
+        if not self.revoke_rho <= self.suspect_rho < self.recover_rho:
+            raise PolicyError(
+                "need revoke_rho <= suspect_rho < recover_rho (the strict "
+                "hysteresis gap keeps the state machine from flapping), got "
                 f"{self.revoke_rho} / {self.suspect_rho} / {self.recover_rho}"
             )
         for name in ("suspect_patience", "revoke_patience", "recover_patience",
                      "audit_every", "regret_limit"):
             if getattr(self, name) < 1:
-                raise ModelError(f"{name} must be >= 1")
+                raise PolicyError(f"{name} must be >= 1")
         if not 0.0 <= self.min_coverage <= 1.0:
-            raise ModelError("min_coverage must be in [0, 1]")
+            raise PolicyError("min_coverage must be in [0, 1]")
         if self.z_critical <= 0:
-            raise ModelError("z_critical must be positive")
+            raise PolicyError("z_critical must be positive")
         if self.widen_factor < 1.0:
-            raise ModelError("widen_factor must be >= 1")
+            raise PolicyError("widen_factor must be >= 1")
 
     @classmethod
     def disabled(cls) -> "GuardPolicy":

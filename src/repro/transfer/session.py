@@ -29,6 +29,7 @@ from repro.search.pruning import pruned_search
 from repro.search.random_search import random_search
 from repro.search.result import SearchTrace
 from repro.search.stream import SharedStream
+from repro.spec import UNSET, TunerSpec, resolve_spec
 from repro.transfer.metrics import SpeedupReport, speedups
 from repro.transfer.surrogate import Surrogate
 from repro.utils.stats import pearson, spearman
@@ -108,6 +109,12 @@ class TransferSession:
     ultimately to plain RS on the shared stream — when transfer turns
     out to hurt.  ``guard=None`` (default) runs every variant exactly
     as before.
+
+    ``spec`` (a :class:`repro.spec.TunerSpec`) supplies defaults for
+    ``pool_size``, ``delta_percent``, ``guard``, the surrogate forest,
+    and the engine batch size; explicit keyword arguments beat it, and
+    the default spec reproduces historical behavior byte-identically
+    (golden-trace proven).
     """
 
     def __init__(
@@ -117,8 +124,8 @@ class TransferSession:
         target: MachineSpec,
         compiler: CompilerModel = GCC,
         nmax: int = 100,
-        pool_size: int = 10_000,
-        delta_percent: float = 20.0,
+        pool_size: int | None = None,
+        delta_percent: float | None = None,
         threads: int | dict[str, int] = 1,
         openmp: bool = False,
         seed: object = 0,
@@ -127,15 +134,23 @@ class TransferSession:
         variants: tuple[str, ...] = ("RSp", "RSb", "RSpf", "RSbf"),
         evaluator_factory: Callable[[MachineSpec, SimClock], object] | None = None,
         evaluator_wrapper: Callable[[object], object] | None = None,
-        guard=None,
+        guard=UNSET,
+        spec: TunerSpec | None = None,
     ) -> None:
+        # Spec-resolved knobs land as plain attributes (not lazy reads)
+        # because callers — the ablation drivers — mutate them between
+        # runs; explicit keyword arguments beat the spec.
+        self.spec = resolve_spec(spec)
         self.kernel = kernel
         self.source = source
         self.target = target
         self.compiler = compiler
         self.nmax = nmax
-        self.pool_size = pool_size
-        self.delta_percent = delta_percent
+        self.pool_size = pool_size if pool_size is not None else self.spec.pool.size
+        self.delta_percent = (
+            delta_percent if delta_percent is not None
+            else self.spec.gate.delta_percent
+        )
         self.threads = threads
         self.openmp = openmp
         self.seed = seed
@@ -144,7 +159,7 @@ class TransferSession:
         self.variants = variants
         self.evaluator_factory = evaluator_factory
         self.evaluator_wrapper = evaluator_wrapper
-        self.guard = guard
+        self.guard = self.spec.guard if guard is UNSET else guard
 
     # ------------------------------------------------------------------
     def _threads_for(self, machine: MachineSpec) -> int:
@@ -179,12 +194,18 @@ class TransferSession:
         """Step 1: RS on the source machine, producing Ta."""
         return random_search(
             self._evaluator(self.source), self._stream(), nmax=self.nmax,
-            name="RS(source)",
+            name="RS(source)", spec=self.spec,
         )
 
     def fit_surrogate(self, source_trace: SearchTrace) -> Surrogate:
-        """Step 2: fit Ma on Ta."""
-        surrogate = Surrogate(self.kernel.space, learner_factory=self.learner_factory)
+        """Step 2: fit Ma on Ta (forest shaped by the session spec
+        unless an explicit ``learner_factory`` overrides it)."""
+        if self.learner_factory is not None:
+            surrogate = Surrogate(
+                self.kernel.space, learner_factory=self.learner_factory
+            )
+        else:
+            surrogate = Surrogate(self.kernel.space, spec=self.spec.forest)
         return surrogate.fit(source_trace.training_data())
 
     def run(self, checkpoint_path=None) -> TransferOutcome:
@@ -224,7 +245,8 @@ class TransferSession:
         # same sequence (fresh SharedStream instances share the seed).
         runners: dict[str, Callable[[], SearchTrace]] = {
             "RS": lambda: random_search(
-                self._evaluator(self.target), self._stream(), nmax=self.nmax
+                self._evaluator(self.target), self._stream(), nmax=self.nmax,
+                spec=self.spec,
             ),
             "RSp": lambda: pruned_search(
                 self._evaluator(self.target),
@@ -234,6 +256,7 @@ class TransferSession:
                 pool_size=self.pool_size,
                 delta_percent=self.delta_percent,
                 guard=self.guard,
+                spec=self.spec,
             ),
             "RSb": lambda: biased_search(
                 self._evaluator(self.target),
@@ -243,6 +266,7 @@ class TransferSession:
                 pool_size=self.pool_size,
                 guard=self.guard,
                 stream=self._stream() if self.guard is not None else None,
+                spec=self.spec,
             ),
             "RSpb": lambda: hybrid_search(
                 self._evaluator(self.target),
@@ -253,13 +277,15 @@ class TransferSession:
                 delta_percent=self.delta_percent,
                 guard=self.guard,
                 stream=self._stream() if self.guard is not None else None,
+                spec=self.spec,
             ),
             "RSpf": lambda: model_free_pruned_search(
                 self._evaluator(self.target), training, nmax=self.nmax,
-                delta_percent=self.delta_percent,
+                delta_percent=self.delta_percent, spec=self.spec,
             ),
             "RSbf": lambda: model_free_biased_search(
-                self._evaluator(self.target), training, nmax=self.nmax
+                self._evaluator(self.target), training, nmax=self.nmax,
+                spec=self.spec,
             ),
         }
         for name in ("RS",) + tuple(v for v in self.variants if v in runners):

@@ -33,6 +33,7 @@ from repro.search.proposers import SMBOProposer
 from repro.search.protocols import SurrogateModel
 from repro.search.result import SearchTrace
 from repro.searchspace.space import Configuration, SearchSpace
+from repro.spec import UNSET, TunerSpec, resolve_spec
 from repro.utils.rng import spawn_rng
 
 __all__ = ["smbo_search"]
@@ -42,16 +43,17 @@ def smbo_search(
     evaluator,
     space: SearchSpace,
     nmax: int = 100,
-    n_initial: int = 10,
-    pool_size: int = 2_000,
-    acquisition: str = "ei",
-    kappa: float = 1.5,
+    n_initial: int | None = None,
+    pool_size: int | None = None,
+    acquisition: str | None = None,
+    kappa: float | None = None,
     source_surrogate: SurrogateModel | None = None,
     source_data: Sequence[tuple[Configuration, float]] | None = None,
-    refit_every: int = 1,
+    refit_every: int | None = None,
     seed: object = 0,
     name: str | None = None,
-    batch_size: int | None = 64,
+    batch_size=UNSET,
+    spec: TunerSpec | None = None,
 ) -> SearchTrace:
     """Run SMBO on the target machine.
 
@@ -59,7 +61,27 @@ def smbo_search(
     model's best pool predictions (transfer-seeded SMBO); otherwise a
     random design.  ``source_data`` additionally blends rescaled source
     observations into every refit (full transfer).
+
+    ``spec`` (a :class:`repro.spec.TunerSpec`) supplies defaults for
+    every SMBO knob not passed explicitly — ``n_initial``,
+    ``pool_size``, ``acquisition``, ``kappa``, ``refit_every``, the
+    refit forest, and the engine ``batch_size``.  The default spec
+    reproduces historical behavior exactly (``n_initial=10``, a 2k
+    pool, EI, a 48-tree refit forest).
     """
+    spec = resolve_spec(spec)
+    if n_initial is None:
+        n_initial = spec.smbo.n_initial
+    if pool_size is None:
+        pool_size = spec.smbo.pool_size
+    if acquisition is None:
+        acquisition = spec.smbo.acquisition
+    if kappa is None:
+        kappa = spec.smbo.kappa
+    if refit_every is None:
+        refit_every = spec.smbo.refit_every
+    if batch_size is UNSET:
+        batch_size = spec.engine.batch_size
     if nmax < 1:
         raise SearchError(f"nmax must be >= 1, got {nmax}")
     if not 1 <= n_initial <= nmax:
@@ -85,6 +107,7 @@ def smbo_search(
             source_surrogate=source_surrogate,
             source_data=source_data,
             refit_every=refit_every,
+            forest=spec.smbo.forest,
         ),
         nmax=nmax,
         name=label,

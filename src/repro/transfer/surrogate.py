@@ -18,6 +18,7 @@ from repro.ml.base import Regressor
 from repro.ml.forest import RandomForestRegressor
 from repro.searchspace.encoding import encoding_cache
 from repro.searchspace.space import Configuration, SearchSpace
+from repro.spec import ForestSpec
 from repro.transfer.sanitize import SanitizationReport, sanitize_training
 
 __all__ = ["Surrogate"]
@@ -40,7 +41,12 @@ class Surrogate:
         The configuration space whose encoding defines the features.
     learner:
         Any :class:`repro.ml.base.Regressor`; defaults to the paper's
-        random forest.
+        random forest, built from ``spec``.
+    spec:
+        :class:`repro.spec.ForestSpec` hyperparameters for the default
+        forest.  Mutually exclusive with ``learner``/``learner_factory``
+        (those supply a learner outright; the spec only shapes the
+        default one).
     log_target:
         Fit ``log(y)`` instead of ``y`` — runtimes are positive with
         multiplicative structure, so this is the better-behaved target
@@ -53,12 +59,19 @@ class Surrogate:
         learner: Regressor | None = None,
         learner_factory: Callable[[], Regressor] | None = None,
         log_target: bool = True,
+        spec: "ForestSpec | None" = None,
     ) -> None:
         if learner is not None and learner_factory is not None:
             raise ModelError("pass either learner or learner_factory, not both")
+        if spec is not None and (learner is not None or learner_factory is not None):
+            raise ModelError(
+                "pass either spec or an explicit learner/learner_factory, "
+                "not both"
+            )
         if learner is None:
-            learner = learner_factory() if learner_factory else RandomForestRegressor(
-                n_estimators=64, min_samples_leaf=2, seed=0
+            learner = (
+                learner_factory() if learner_factory
+                else RandomForestRegressor.from_spec(spec)
             )
         self.space = space
         self.learner = learner

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.errors import SearchError
 from repro.search.engine import SearchEngine
 from repro.search.result import SearchTrace
+from repro.spec import TunerSpec, resolve_spec
 from repro.tuner.adapter import TechniqueProposer
 from repro.tuner.database import ResultsDatabase
 from repro.tuner.manipulator import ConfigurationManipulator
@@ -41,11 +42,13 @@ class TuningRun:
         technique: SearchTechnique,
         nmax: int = 100,
         name: str | None = None,
+        spec: TunerSpec | None = None,
     ) -> None:
         if nmax < 1:
             raise SearchError(f"nmax must be >= 1, got {nmax}")
         self.evaluator = evaluator
         self.technique = technique
+        self.spec = resolve_spec(spec)
         self.nmax = nmax
         self.name = name or technique.name
         self.database = ResultsDatabase()
@@ -84,5 +87,9 @@ class TuningRun:
             # the partial work until the wall was real.
             charge_remainder_on_exhaust=True,
             checkpoint=checkpoint,
+            # Techniques propose one candidate at a time (no block
+            # protocol), so the engine stays serial regardless of the
+            # spec's batch size — traces are identical either way.
+            batch_size=self.spec.engine.batch_size,
         )
         return engine.run()

@@ -1,0 +1,81 @@
+"""Scoring candidate specs through full inner tuning sessions."""
+
+import json
+
+import pytest
+
+from repro.meta.evaluate import (
+    MetaTuningEvaluator,
+    evaluate_spec,
+    meta_random_search,
+)
+from repro.meta.space import meta_space
+from repro.spec import DEFAULT_SPEC, TunerSpec
+
+# One variant and a tiny nmax keep each inner session well under a
+# second; these tests are about wiring, not statistics.
+CHEAP = dict(nmax=6, variants=("RSp",))
+
+
+class TestEvaluateSpec:
+    def test_payload_shape(self):
+        payload = evaluate_spec(DEFAULT_SPEC, **CHEAP)
+        assert payload["problem"] == "MM"
+        assert payload["variants"] == ["RSp"]
+        assert set(payload["prf"]) == {"RSp"}
+        assert payload["objective"] == payload["prf"]["RSp"]
+        assert payload["objective"] > 0
+        assert payload["cost"] == pytest.approx(1.0 / payload["objective"])
+        # source RS + target RS + RSp all ran within the budget caps
+        assert payload["inner_evaluations"] <= 3 * CHEAP["nmax"]
+        assert payload["inner_elapsed"] > 0
+        json.dumps(payload)  # journal-safe
+
+    def test_spec_round_trips_through_payload(self):
+        spec = DEFAULT_SPEC.with_value("gate.delta_percent", 35.0)
+        payload = evaluate_spec(spec, **CHEAP)
+        assert TunerSpec.from_dict(payload["spec"]) == spec
+        assert payload["fingerprint"] == spec.fingerprint()
+
+    def test_deterministic(self):
+        a = evaluate_spec(DEFAULT_SPEC, seed=3, **CHEAP)
+        b = evaluate_spec(DEFAULT_SPEC, seed=3, **CHEAP)
+        assert a == b
+
+
+class TestMetaTuningEvaluator:
+    def test_satisfies_evaluator_protocol(self):
+        space = meta_space(("gate.delta_percent",))
+        ev = MetaTuningEvaluator(space, **CHEAP)
+        config = space.config_at(0)
+        measurement = ev.evaluate(config)
+        assert measurement.runtime_seconds == ev.results[0]["cost"]
+        assert ev.clock.now == pytest.approx(ev.results[0]["inner_elapsed"])
+
+    def test_budget_wall_stops_the_meta_search(self):
+        from repro.search.random_search import random_search
+        from repro.search.stream import SharedStream
+
+        space = meta_space(("gate.delta_percent", "pool.size"))
+        probe = MetaTuningEvaluator(space, **CHEAP)
+        probe.evaluate(space.config_at(0))
+        one_cell = probe.results[0]["inner_elapsed"]
+
+        ev = MetaTuningEvaluator(space, budget_seconds=1.5 * one_cell, **CHEAP)
+        stream = SharedStream(space, seed="meta-budget-test")
+        trace = random_search(ev, stream, nmax=5, name="meta-RS")
+        # The second candidate's charge crosses the budget: the engine
+        # absorbs BudgetExhaustedError and ends the meta-search.
+        assert trace.exhausted_budget
+        assert len(ev.results) < 5
+
+
+class TestMetaRandomSearch:
+    def test_the_tuner_tunes_itself(self):
+        space = meta_space(("gate.delta_percent", "forest.n_estimators"))
+        trace, ev = meta_random_search(space, n_candidates=3, **CHEAP)
+        assert trace.n_evaluations == 3
+        assert len(ev.results) == 3
+        assert trace.best().runtime == min(r["cost"] for r in ev.results)
+        # Three distinct candidate specs were actually scored.
+        assert len({r["fingerprint"] for r in ev.results}) == 3

@@ -1,0 +1,45 @@
+"""The default TunerSpec is the status quo, golden-trace proven.
+
+Every spec-threaded search factory, called with an *explicit*
+``spec=TunerSpec()``, must reproduce the pre-spec golden fixtures byte
+for byte — the spec layer supplies the very same defaults the code used
+to hard-code, and threading it through changed nothing.  (The plain
+no-spec paths are pinned by ``tests/search/test_golden_equivalence.py``;
+this file pins the ``spec=`` code paths against the same fixtures.)
+"""
+
+import pytest
+
+from repro.reliability import trace_to_dict
+from repro.spec import TunerSpec
+
+from tests.search.golden_scenarios import SCENARIOS
+from tests.search.test_golden_equivalence import FIXTURES
+
+# One scenario per spec-accepting search family: plain RS (serial and
+# budget-walled), pruning, biasing, their model-free variants, and the
+# transfer-seeded SMBO loop.  (The tuner/warm-start scenarios thread
+# their keywords into ``run()``, which takes no spec.)
+SPEC_SCENARIOS = (
+    "rs_clean",
+    "rs_budget",
+    "rsp_clean",
+    "rsb_clean",
+    "rspf_clean",
+    "rsbf_clean",
+    "smbo_transfer",
+)
+
+
+@pytest.mark.parametrize("name", SPEC_SCENARIOS)
+def test_default_spec_matches_golden(name):
+    trace = SCENARIOS[name](spec=TunerSpec())
+    assert trace_to_dict(trace) == FIXTURES[name]
+
+
+def test_non_default_spec_changes_the_search():
+    """Counter-test: the spec is actually live on these code paths — an
+    aggressive pruning quantile must change the pruned search's trace."""
+    tight = TunerSpec().with_value("gate.delta_percent", 1.0)
+    trace = SCENARIOS["rsp_clean"](spec=tight)
+    assert trace_to_dict(trace) != FIXTURES["rsp_clean"]

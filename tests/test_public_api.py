@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.search",
     "repro.service",
     "repro.chaos",
+    "repro.meta",
     "repro.transfer",
     "repro.tuner",
     "repro.tuner.techniques",
@@ -61,6 +62,7 @@ class TestLazyTopLevel:
         assert repro.get_kernel("lu").name == "LU"
         assert repro.RandomForestRegressor is not None
         assert repro.SearchSpace is not None
+        assert repro.TunerSpec().fingerprint() == repro.DEFAULT_SPEC.fingerprint()
 
     def test_unknown_attribute(self):
         with pytest.raises(AttributeError):

@@ -135,13 +135,42 @@ class TestPolicyValidation:
             {"audit_every": 0},
             {"regret_limit": 0},
             {"min_coverage": 1.5},
+            {"min_coverage": -0.1},
             {"z_critical": 0.0},
             {"widen_factor": 0.5},
+            # rho thresholds must be strictly inside (-1, 1)
+            {"suspect_rho": 1.0},
+            {"suspect_rho": -1.0},
+            {"revoke_rho": -1.0},
+            {"recover_rho": 1.0},
+            # hysteresis: recover_rho must strictly exceed suspect_rho
+            {"suspect_rho": 0.5, "recover_rho": 0.5},
+            {"suspect_rho": 0.6, "recover_rho": 0.5},
         ],
     )
     def test_invalid_knobs_rejected(self, kwargs):
         with pytest.raises(ModelError):
             GuardPolicy(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"min_evidence": 0}, {"suspect_patience": -1},
+         {"recover_rho": 2.0}, {"suspect_rho": 0.9, "recover_rho": 0.9}],
+    )
+    def test_invalid_knobs_raise_clear_value_errors(self, kwargs):
+        # PolicyError is both a ModelError (historical contract above)
+        # and a SpecError, hence a ValueError with a named-knob message.
+        with pytest.raises(ValueError) as exc_info:
+            GuardPolicy(**kwargs)
+        from repro.errors import SpecError
+
+        assert isinstance(exc_info.value, SpecError)
+        message = str(exc_info.value)
+        assert any(name in message for name in kwargs)
+
+    def test_hysteresis_boundaries_accepted(self):
+        GuardPolicy(revoke_rho=-0.5, suspect_rho=-0.5, recover_rho=0.0)
+        GuardPolicy(suspect_rho=0.0, recover_rho=0.999)
 
 
 class TestStateMachine:
