@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-session faults guard chaos chaos-smoke meta meta-smoke service report examples clean
+.PHONY: install test lint bench bench-session faults guard chaos chaos-smoke corruption-smoke scrub meta meta-smoke service report examples clean
 
 # Meta-campaign knobs for `make meta` (override on the command line).
 META_SEEDS ?= 2
@@ -72,10 +72,24 @@ chaos:
 	$(PYTHON) -m pytest -x -q tests/
 
 # Bounded (<60s asserted in-test) chaos smoke: two full oracle cells
-# mixing all four fault layers — the tier-1-friendly slice of `make
+# mixing all five fault layers — the tier-1-friendly slice of `make
 # chaos`.
 chaos-smoke:
 	$(PYTHON) -m pytest -x -q tests/chaos/test_smoke.py
+
+# Bounded bit-rot smoke: oracle cells whose plans are checked to cover
+# bit-flip, mid-file truncate, and flip-during-compaction against the
+# registry/store/checkpoints — the tier-1-friendly slice of the
+# silent-corruption layer.
+corruption-smoke:
+	$(PYTHON) -m pytest -x -q tests/chaos/test_corruption_smoke.py
+
+# Offline integrity pass: verify CRC32 framing of every journal under
+# benchmarks/results/ (and the meta campaign registry), quarantining
+# damaged records to .quarantine sidecars and reporting salvage
+# provenance.  `--check` would report without rewriting.
+scrub:
+	$(PYTHON) -m repro.exec.scrub benchmarks/results
 
 # The self-meta-tuning campaign: search TunerSpec knobs over
 # (kernel, machine-pair) cells through the journaled grid and write the

@@ -1,12 +1,14 @@
 """The full chaos campaign: >=25 seeded plans vs the oracle.
 
 The acceptance bar for the chaos subsystem: a campaign of at least 25
-seed-derived plans — collectively mixing all four fault layers
-(evaluator faults, worker kills/hangs, filesystem faults, and
-kill/restart deadline pressure) — passes every crash-consistency
-invariant.  The campaign journals through ``registry_dir`` like every
-other figure/table grid, so a killed run resumes instead of
-restarting, and the rendered table lands in
+seed-derived plans — collectively mixing all five fault layers
+(evaluator faults, worker kills/hangs, filesystem faults, kill/restart
+deadline pressure, and silent bit rot against the registry, the
+session store, and search checkpoints) — passes every
+crash-consistency invariant, including bounded loss under corruption.
+The campaign journals through ``registry_dir`` like every other
+figure/table grid, so a killed run resumes instead of restarting, and
+the rendered table lands in
 ``benchmarks/results/chaos_campaign.txt``.
 """
 
@@ -26,6 +28,15 @@ def test_chaos_campaign(registry_dir, save_artifact):
     modes = {ChaosPlan.derive(s).fs_mode for s in seeds}
     assert modes == {"refuse", "partial", "fsync", "rename"}
 
+    # Likewise the bit-rot layer: both corruption shapes must land on
+    # both journals across the seed set, and at least one plan must rot
+    # a freshly compacted registry (flip-during-compaction).
+    plans = [ChaosPlan.derive(s) for s in seeds]
+    assert {p.corrupt_mode for p in plans} == {"bitflip", "truncate"}
+    assert {p.store_corrupt_mode for p in plans} == {"bitflip", "truncate"}
+    assert {p.ckpt_corrupt_mode for p in plans} == {"bitflip", "truncate"}
+    assert any(p.corrupt_compaction for p in plans)
+
     summary = run_chaos_campaign(
         seeds,
         intensities=INTENSITIES,
@@ -43,3 +54,6 @@ def test_chaos_campaign(registry_dir, save_artifact):
     assert counters["fs_faults"] > 0
     assert counters["chaos_kills"] > 0
     assert counters["search_resumes"] > 0
+    # The bit-rot layer actually damaged records somewhere — the
+    # bounded-loss invariant was defended under real corruption.
+    assert counters["corrupt_records"] > 0

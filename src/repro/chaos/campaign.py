@@ -58,6 +58,15 @@ def _campaign_cell(spec: dict) -> dict:
             "search_resumes": chaotic["search"]["resumes"],
             "grid_restarts": chaotic["grid"]["restarts"],
             "journal_failures": chaotic["service"]["journal_failures"],
+            # Bit-rot layer: records damaged (registry + store + rotted
+            # checkpoints), records quarantined by scrub-and-salvage,
+            # and cells the grid re-executed to cover the loss.
+            "corrupt_records": chaotic["grid"]["damage_records"]
+            + chaotic["service"]["store_damage"]
+            + chaotic["search"]["ckpt_corruptions"],
+            "salvaged_records": chaotic["grid"]["salvaged"]
+            + chaotic["service"]["store_salvaged"],
+            "salvage_reexecutions": chaotic["grid"]["salvage_executed"],
         },
     }
 
@@ -114,7 +123,8 @@ def render_campaign_report(summary: dict) -> str:
         + ", ".join(f"{k}={v}" for k, v in sorted(summary["counters"].items())),
         "",
         f"{'seed':<14}{'intensity':>10}  {'verdict':<8}"
-        f"{'kills':>6}{'fs':>5}{'resumes':>9}{'restarts':>10}",
+        f"{'kills':>6}{'fs':>5}{'resumes':>9}{'restarts':>10}"
+        f"{'rot':>5}{'salvaged':>10}",
     ]
     for result in summary["results"]:
         counters = result["counters"]
@@ -123,6 +133,8 @@ def render_campaign_report(summary: dict) -> str:
             f"{'pass' if result['passed'] else 'FAIL':<8}"
             f"{counters['chaos_kills']:>6}{counters['fs_faults']:>5}"
             f"{counters['search_resumes']:>9}{counters['grid_restarts']:>10}"
+            f"{counters.get('corrupt_records', 0):>5}"
+            f"{counters.get('salvaged_records', 0):>10}"
         )
         if not result["passed"]:
             for name, check in result["report"]["checks"].items():

@@ -29,6 +29,27 @@ different path — keeps working.  Four failure modes per rule:
     that staged its snapshot but could not swap it in.  The stale
     temporary must be discarded, never read.
 
+Beyond *failures* (the write is refused and the caller knows), rules
+can inject *silent corruption* — the bit-rot layer the scrub/salvage
+machinery (:mod:`repro.exec.scrub`) exists to survive:
+
+``bitflip``
+    One byte of one already-acknowledged record is XOR-flipped in
+    place — the disk lied, nothing raised.  A CRC32-framed record
+    fails verification on the next load; an unframed one may even
+    still parse.
+``truncate``
+    The file is cut mid-record somewhere in the middle — everything
+    after the cut is gone, and the cut line itself is torn.
+
+Corruption rules fire on write-mode opens of the ruled path (latent
+rot surfaces while the file is in active use) or — with
+``on_replace=True`` — right after a successful ``os.replace`` onto the
+path, which models a compaction whose freshly swapped-in snapshot rots
+(flip-during-compaction).  ``FaultRule.damage`` counts the record
+lines actually damaged, which is what bounds acceptable data loss in
+the chaos oracle.
+
 Every rule carries an optional **budget**: the number of faults it may
 inject before auto-disarming, which is how a chaos plan expresses
 "the disk is full for the next three appends, then space returns".
@@ -45,10 +66,25 @@ import errno
 import os
 from dataclasses import dataclass
 
-__all__ = ["FAULTFS_MODES", "FaultRule", "FaultFS"]
+from repro.utils.rng import stable_hash
 
-#: Failure shapes a rule may inject.
+__all__ = [
+    "FAULTFS_MODES",
+    "CORRUPT_MODES",
+    "FaultRule",
+    "FaultFS",
+    "FailingFS",
+    "corrupt_file",
+]
+
+#: Failure shapes a rule may inject.  (Kept separate from
+#: :data:`CORRUPT_MODES`: :meth:`ChaosPlan.derive` draws ``fs_mode``
+#: from this tuple, so extending it would silently change every
+#: seed-derived plan.)
 FAULTFS_MODES: tuple[str, ...] = ("refuse", "partial", "fsync", "rename")
+
+#: Silent-corruption shapes a rule may inject (the bit-rot layer).
+CORRUPT_MODES: tuple[str, ...] = ("bitflip", "truncate")
 
 
 @dataclass
@@ -61,12 +97,22 @@ class FaultRule:
     budget: int | None = None  # faults left to inject; None = unlimited
     armed: bool = True
     failures: int = 0
+    seed: str = ""  # corruption modes: deterministic damage-site draws
+    on_replace: bool = False  # corruption fires after os.replace (compaction)
+    protect_first_line: bool = False  # spare a leading compaction snapshot
+    damage: int = 0  # record lines actually damaged (corruption modes)
 
     def __post_init__(self) -> None:
         self.path = os.fspath(self.path)
-        if self.mode not in FAULTFS_MODES:
+        if self.mode not in FAULTFS_MODES + CORRUPT_MODES:
             raise ValueError(
-                f"unknown faultfs mode {self.mode!r}; known: {FAULTFS_MODES}"
+                f"unknown faultfs mode {self.mode!r}; known: "
+                f"{FAULTFS_MODES + CORRUPT_MODES}"
+            )
+        if self.on_replace and self.mode not in CORRUPT_MODES:
+            raise ValueError(
+                f"on_replace applies to corruption modes {CORRUPT_MODES}, "
+                f"not {self.mode!r}"
             )
 
     @property
@@ -80,6 +126,90 @@ class FaultRule:
             self.budget -= 1
             if self.budget <= 0:
                 self.armed = False
+
+
+# ----------------------------------------------------------------------
+# Silent corruption (the bit-rot layer)
+# ----------------------------------------------------------------------
+def _line_spans(blob: bytes) -> list[tuple[int, int]]:
+    """``(start, end)`` byte spans of every non-empty line in ``blob``."""
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for segment in blob.split(b"\n"):
+        if segment:
+            spans.append((start, start + len(segment)))
+        start += len(segment) + 1
+    return spans
+
+
+def _flip_byte(blob: bytes, span: tuple[int, int], seed, index: int) -> bytes:
+    """Return ``blob`` with one byte of the span deterministically flipped."""
+    start, end = span
+    pos = start + stable_hash("faultfs-flip-pos", seed, index) % (end - start)
+    old = blob[pos]
+    new = old ^ 0x01
+    if new == 0x0A:  # never manufacture a newline: that would split the line
+        new = old ^ 0x02
+    return blob[:pos] + bytes([new]) + blob[pos + 1:]
+
+
+def corrupt_file(path, mode: str, seed="", index: int = 0,
+                 protect_final_line: bool = True,
+                 protect_first_line: bool = False,
+                 torn: bool = True) -> int:
+    """Deterministically damage one file in place; returns records damaged.
+
+    ``bitflip`` XOR-flips one byte inside one line; ``truncate`` cuts
+    the file at the chosen line and drops everything after — mid-line
+    when ``torn`` (a genuinely torn record), at the line's start
+    otherwise.  The aligned cut exists for corruption injected on an
+    *append* open: a torn cut there would glue the caller's in-flight
+    record onto the damage and lose one more record than was counted,
+    and ``damage`` is exactly what bounds acceptable loss in the chaos
+    oracle.  With ``protect_final_line`` (the journal setting) the
+    final line is never the flip target and never the first casualty of
+    a truncate, so the damage is guaranteed to be *mid-file* — the
+    shape torn-tail repair cannot explain away — while single-document
+    files (checkpoints) pass ``False``.  ``protect_first_line`` exists
+    for journals whose first line is a compaction *snapshot* holding
+    the entire folded state: rotting it is whole-journal loss (a
+    restore-from-backup failure class), not the per-record bit rot the
+    scrub/salvage bound reasons about, so the session-store rules keep
+    it out of reach.  Returns 0 without touching the file when it is
+    too small to damage under those constraints; the damage site is a
+    pure function of ``(seed, index, content)``.
+    """
+    if mode not in CORRUPT_MODES:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; known: {CORRUPT_MODES}"
+        )
+    try:
+        with builtins.open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError:
+        return 0
+    spans = _line_spans(blob)
+    lo = 1 if protect_first_line else 0
+    hi = len(spans) - 1 if protect_final_line else len(spans)
+    eligible = spans[lo:hi] if hi > lo else []
+    if not eligible:
+        return 0
+    choice = eligible[stable_hash("faultfs-corrupt", seed, index) % len(eligible)]
+    if mode == "bitflip":
+        damaged_blob = _flip_byte(blob, choice, seed, index)
+        damage = 1
+    else:
+        start, end = choice
+        cut = start + max(1, (end - start) // 2) if torn else start
+        damaged_blob = blob[:cut]
+        # Every line at or after the chosen one is lost (when torn, the
+        # chosen line survives only as an undecodable fragment).
+        damage = sum(1 for s, _e in spans if s >= start)
+    with builtins.open(path, "wb") as fh:
+        fh.write(damaged_blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return damage
 
 
 class _PartialWriteFile:
@@ -150,7 +280,10 @@ class _OsProxy:
             rule.consume()
             raise OSError(rule.err, os.strerror(rule.err), os.fspath(src),
                           None, os.fspath(dst))
-        return os.replace(src, dst)
+        result = os.replace(src, dst)
+        # Flip-during-compaction: the freshly swapped-in snapshot rots.
+        self._fs._corrupt(dst, on_replace=True)
+        return result
 
     def __getattr__(self, name):
         return getattr(os, name)
@@ -190,9 +323,14 @@ class FaultFS:
         err: int = errno.ENOSPC,
         budget: int | None = None,
         armed: bool = True,
+        seed="",
+        on_replace: bool = False,
+        protect_first_line: bool = False,
     ) -> FaultRule:
         rule = FaultRule(path=os.fspath(path), mode=mode, err=err,
-                         budget=budget, armed=armed)
+                         budget=budget, armed=armed, seed=str(seed),
+                         on_replace=on_replace,
+                         protect_first_line=protect_first_line)
         self.rules.append(rule)
         return rule
 
@@ -212,7 +350,8 @@ class FaultFS:
         return [r for r in self.rules if r.path == path]
 
     def _rule_for(self, path, mode: str | None = None,
-                  modes: tuple[str, ...] | None = None) -> FaultRule | None:
+                  modes: tuple[str, ...] | None = None,
+                  on_replace: bool | None = None) -> FaultRule | None:
         """The first active rule for ``path`` (optionally mode-filtered)."""
         path = os.fspath(path)
         for rule in self.rules:
@@ -222,17 +361,47 @@ class FaultFS:
                 continue
             if modes is not None and rule.mode not in modes:
                 continue
+            if on_replace is not None and rule.on_replace != on_replace:
+                continue
             return rule
         return None
+
+    def _corrupt(self, path, on_replace: bool) -> None:
+        """Apply the path's active corruption rule (if any) to the file.
+
+        A rule only consumes budget when it actually damaged a record —
+        a file too small to corrupt is skipped, so "corrupt one record"
+        means one record, not one attempt.
+        """
+        rule = self._rule_for(path, modes=CORRUPT_MODES,
+                              on_replace=on_replace)
+        if rule is None:
+            return
+        damage = corrupt_file(
+            path, rule.mode, seed=rule.seed or rule.path,
+            index=rule.failures,
+            protect_first_line=rule.protect_first_line,
+            # An append open follows immediately: keep the cut aligned
+            # so the in-flight record is not an uncounted casualty.
+            torn=on_replace,
+        )
+        if damage:
+            rule.damage += damage
+            rule.consume()
 
     @property
     def failures(self) -> int:
         """Total faults injected across all rules."""
         return sum(rule.failures for rule in self.rules)
 
+    @property
+    def damage_records(self) -> int:
+        """Record lines damaged by corruption rules across all paths."""
+        return sum(rule.damage for rule in self.rules)
+
     def counts(self) -> dict[str, int]:
         """Faults injected per mode (the campaign's observability hook)."""
-        out = {mode: 0 for mode in FAULTFS_MODES}
+        out = {mode: 0 for mode in FAULTFS_MODES + CORRUPT_MODES}
         for rule in self.rules:
             out[rule.mode] += rule.failures
         return out
@@ -287,6 +456,9 @@ class FaultFS:
         # plain reads stay functional, as they do on a full disk.
         is_write = "w" in mode or "a" in mode
         if is_write:
+            # Latent bit rot surfaces while the file is in active use:
+            # damage the existing content before the new open proceeds.
+            self._corrupt(file, on_replace=False)
             rule = self._rule_for(file, modes=("refuse", "partial", "fsync"))
             if rule is not None:
                 if rule.mode == "refuse":
@@ -300,3 +472,52 @@ class FaultFS:
                 fh = builtins.open(file, mode, *args, **kwargs)
                 return _FsyncDoomedFile(fh, self, rule)
         return builtins.open(file, mode, *args, **kwargs)
+
+
+class FailingFS:
+    """One-path, one-rule convenience wrapper over :class:`FaultFS`.
+
+    The original pytest shim surface (``tests/faultfs.py`` re-exports
+    it): inject OSError into write-mode opens of a single journal path,
+    toggled with :meth:`arm`/:meth:`disarm`.  ``patcher`` is pytest's
+    ``monkeypatch`` (anything with a compatible ``setattr``): patching
+    instead of :meth:`FaultFS.install` lets the fixture auto-restore
+    the journal module even when a test errors out mid-body.
+    """
+
+    def __init__(self, patcher, path, err: int = errno.ENOSPC,
+                 partial: bool = False) -> None:
+        import repro.exec.journal as journal_mod
+
+        self._fs = FaultFS()
+        self._rule = self._fs.add_rule(
+            path, mode="partial" if partial else "refuse", err=err,
+            armed=False,
+        )
+        patcher.setattr(journal_mod, "open", self._fs._open, raising=False)
+
+    @property
+    def path(self) -> str:
+        return self._rule.path
+
+    @property
+    def err(self) -> int:
+        return self._rule.err
+
+    @property
+    def partial(self) -> bool:
+        return self._rule.mode == "partial"
+
+    @property
+    def armed(self) -> bool:
+        return self._rule.armed
+
+    @property
+    def failures(self) -> int:
+        return self._rule.failures
+
+    def arm(self) -> None:
+        self._rule.armed = True
+
+    def disarm(self) -> None:
+        self._rule.armed = False

@@ -1,7 +1,7 @@
 """Seed-derived, bit-replayable chaos schedules across every layer.
 
 A :class:`ChaosPlan` is the orchestration unit: one frozen dataclass
-holding the fault intensities of all four layers —
+holding the fault intensities of all five layers —
 
 * **evaluator faults** (:mod:`repro.reliability.faults`): transient
   glitches, compile crashes, timeouts, outages inside the simulated
@@ -13,7 +13,12 @@ holding the fault intensities of all four layers —
   paths;
 * **clock/deadline pressure**: a tightened per-task wall-clock budget
   plus kill/restart cadence for checkpointed searches and service
-  sessions.
+  sessions;
+* **silent corruption** (:data:`repro.chaos.faultfs.CORRUPT_MODES`):
+  budgeted bit-flip/mid-file-truncate damage against the grid
+  registry, the session store, and search checkpoints — including
+  flip-during-compaction — exercised against the CRC32
+  framing + scrub-and-salvage machinery of :mod:`repro.exec.scrub`.
 
 Every knob is drawn from one seed via stateless
 :func:`~repro.utils.rng.hash_uniform` draws (PR 1's fault-injection
@@ -28,7 +33,7 @@ import dataclasses
 import errno
 from dataclasses import dataclass
 
-from repro.chaos.faultfs import FAULTFS_MODES
+from repro.chaos.faultfs import CORRUPT_MODES, FAULTFS_MODES
 from repro.exec.executor import ChaosConfig
 from repro.reliability.faults import FaultSpec
 from repro.utils.rng import hash_uniform
@@ -68,12 +73,25 @@ class ChaosPlan:
     task_timeout: float
     kill_every_saves: int
     restarts: int
+    # -- silent-corruption layer (bit rot) ------------------------------
+    corrupt_mode: str  # grid registry damage shape
+    store_corrupt_mode: str  # session-store damage shape
+    ckpt_corrupt_mode: str  # checkpoint damage shape
+    corrupt_budget: int  # damaged records allowed per target
+    corrupt_compaction: bool  # also rot the freshly compacted registry
 
     def __post_init__(self) -> None:
         if self.fs_mode not in FAULTFS_MODES:
             raise ValueError(
                 f"unknown fs_mode {self.fs_mode!r}; known: {FAULTFS_MODES}"
             )
+        for knob in ("corrupt_mode", "store_corrupt_mode",
+                     "ckpt_corrupt_mode"):
+            value = getattr(self, knob)
+            if value not in CORRUPT_MODES:
+                raise ValueError(
+                    f"unknown {knob} {value!r}; known: {CORRUPT_MODES}"
+                )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -99,6 +117,17 @@ class ChaosPlan:
             task_timeout=_draw(seed, "task-timeout", 4.0, 8.0),
             kill_every_saves=1 + int(_draw(seed, "kill-every-saves", 0.0, 3.0)),
             restarts=1 + int(_draw(seed, "restarts", 0.0, 2.0)),
+            # New knobs draw from their own hash streams, so adding the
+            # corruption layer left every pre-existing draw unchanged.
+            corrupt_mode=str(_choice(seed, "corrupt-mode", CORRUPT_MODES)),
+            store_corrupt_mode=str(
+                _choice(seed, "store-corrupt-mode", CORRUPT_MODES)
+            ),
+            ckpt_corrupt_mode=str(
+                _choice(seed, "ckpt-corrupt-mode", CORRUPT_MODES)
+            ),
+            corrupt_budget=1 + int(_draw(seed, "corrupt-budget", 0.0, 2.0)),
+            corrupt_compaction=_draw(seed, "corrupt-compaction", 0.0, 1.0) < 0.5,
         )
 
     # ------------------------------------------------------------------
@@ -135,6 +164,32 @@ class ChaosPlan:
             "mode": self.fs_mode,
             "err": self.fs_errno,
             "budget": self.fs_budget,
+        }
+
+    def corrupt_rule_kwargs(self, target: str,
+                            on_replace: bool = False) -> dict:
+        """Corruption-rule kwargs for one target (``registry``/``store``).
+
+        Each target salts the damage-site draws with its own seed so
+        the registry and the store do not rot in lock-step; the
+        flip-during-compaction rule (``on_replace=True``) always
+        bit-flips — a truncate of a freshly compacted snapshot would
+        mostly reproduce the plain truncate case.  The store rules
+        protect the journal's first line: after compaction that line is
+        the folded snapshot of *every* session and job, so rotting it
+        is whole-journal loss rather than the per-record damage the
+        oracle's bounded-loss invariant accounts for.
+        """
+        mode = {
+            "registry": self.corrupt_mode,
+            "store": self.store_corrupt_mode,
+        }[target]
+        return {
+            "mode": "bitflip" if on_replace else mode,
+            "budget": 1 if on_replace else self.corrupt_budget,
+            "seed": f"{self.seed}-{target}",
+            "on_replace": on_replace,
+            "protect_first_line": target == "store",
         }
 
     # ------------------------------------------------------------------

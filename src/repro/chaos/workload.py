@@ -16,6 +16,16 @@ through one :class:`~repro.chaos.plan.ChaosPlan`:
   (degraded mode), and abandon-and-reopen crash cycles (journal-first
   recovery).
 
+The silent-corruption layer rides on top of all three: search
+checkpoints are bit-rotted between kill/resume cycles (the ``.bak``
+fallback resumes from the last good snapshot), the grid registry and
+the session store rot under budgeted
+:data:`~repro.chaos.faultfs.CORRUPT_MODES` rules while the journals
+are in active use (including flip-during-compaction), and a post-chaos
+salvage/recovery pass re-executes exactly the lost cells.  Damage is
+counted per record line, which is what the oracle's bounded-loss
+invariant checks against.
+
 The function returns a JSON-safe outcome dict.  Run once with
 ``chaos=False`` it produces the fault-free reference (which shares the
 *evaluator*-fault schedule — that layer is simulation input, so the
@@ -29,7 +39,11 @@ tests can prove the oracle actually discriminates:
 * ``"skip-replay"`` — the final service state is read without replaying
   the journal (the store looks empty);
 * ``"no-resume"`` — the grid's final verification pass runs with
-  ``resume=False`` (every cell re-executes).
+  ``resume=False`` (every cell re-executes);
+* ``"skip-salvage-recovery"`` — the grid registry is deliberately
+  bit-flipped after the chaos window and the salvage/recovery pass is
+  skipped, so the final verification pass is the first reader to
+  discover the damage and must re-execute a cell.
 """
 
 from __future__ import annotations
@@ -39,7 +53,7 @@ import multiprocessing as mp
 import os
 import time
 
-from repro.chaos.faultfs import FaultFS
+from repro.chaos.faultfs import FaultFS, corrupt_file
 from repro.chaos.plan import ChaosPlan
 from repro.errors import JournalWriteError
 from repro.exec.executor import SupervisedExecutor, run_grid
@@ -59,7 +73,9 @@ from repro.utils.rng import stable_hash
 __all__ = ["run_workload", "BREAK_INVARIANT_MODES"]
 
 #: Recognized sabotage modes for the oracle's negative tests.
-BREAK_INVARIANT_MODES: tuple[str, ...] = ("skip-replay", "no-resume")
+BREAK_INVARIANT_MODES: tuple[str, ...] = (
+    "skip-replay", "no-resume", "skip-salvage-recovery",
+)
 
 _SEARCH_NMAX = 14
 _CHECKPOINT_EVERY = 3
@@ -128,6 +144,7 @@ def _run_search_phase(plan: ChaosPlan, root: str, chaos: bool) -> dict:
 
     ckpt_path = os.path.join(root, "search.ckpt.json")
     resumes = 0
+    ckpt_corruptions = 0
     if chaos:
         manager: CheckpointManager = _KillingManager(
             ckpt_path,
@@ -147,11 +164,26 @@ def _run_search_phase(plan: ChaosPlan, root: str, chaos: bool) -> dict:
             break
         except _ChaosKill:
             resumes += 1
+            # Bit-rot the live checkpoint while the process is "down" —
+            # only once the ``.bak`` of an older save exists, so the
+            # resume exercises the fallback instead of a cold restart.
+            # Every save point is a complete snapshot, so resuming from
+            # the backup replays deterministically and still converges.
+            if (ckpt_corruptions < plan.corrupt_budget
+                    and os.path.exists(f"{ckpt_path}.bak")):
+                damaged = corrupt_file(
+                    ckpt_path, plan.ckpt_corrupt_mode,
+                    seed=f"{plan.seed}-ckpt", index=ckpt_corruptions,
+                    protect_final_line=False,
+                )
+                if damaged:
+                    ckpt_corruptions += 1
     return {
         "trace_digest": trace.state_digest(),
         "n_records": trace.n_evaluations,
         "checkpoint_sha": _file_sha256(ckpt_path),
         "resumes": resumes,
+        "ckpt_corruptions": ckpt_corruptions,
         "evaluator_faults": dict(faulty.injector.counts),
     }
 
@@ -180,6 +212,9 @@ def _run_grid_phase(plan: ChaosPlan, root: str, chaos: bool,
     specs = _grid_specs(plan)
     restarts = 0
     fs_faults = 0
+    damage_records = 0
+    salvage_executed = 0
+    salvaged = 0
     if chaos:
         executor = SupervisedExecutor(
             n_workers=2,
@@ -192,6 +227,15 @@ def _run_grid_phase(plan: ChaosPlan, root: str, chaos: bool,
         )
         fs = FaultFS()
         fs.add_rule(registry_path, **plan.fs_rule_kwargs())
+        # Silent corruption: latent rot surfaces on write-mode opens of
+        # the journal; optionally the freshly compacted snapshot rots
+        # too (flip-during-compaction).
+        fs.add_rule(registry_path, **plan.corrupt_rule_kwargs("registry"))
+        if plan.corrupt_compaction:
+            fs.add_rule(
+                registry_path,
+                **plan.corrupt_rule_kwargs("registry", on_replace=True),
+            )
         with fs:
             # Crash/re-invoke loop: a journal write failure aborts the
             # grid exactly like a crash would; the re-invocation resumes
@@ -219,7 +263,26 @@ def _run_grid_phase(plan: ChaosPlan, root: str, chaos: bool,
                 except JournalWriteError:
                     restarts += 1
         fs_faults = fs.failures
+        damage_records = fs.damage_records
         chaos_kills = executor.stats().chaos_kills
+        if break_invariant == "skip-salvage-recovery":
+            # Sabotage: rot the registry *after* the chaos window and
+            # skip the recovery pass, so the verification pass below is
+            # the first reader to hit the damage and must re-execute —
+            # which the zero-reexecuted-cells invariant flags.
+            damage_records += corrupt_file(
+                registry_path, "bitflip", seed=f"{plan.seed}-sabotage"
+            )
+        else:
+            # Salvage/recovery pass: quarantine whatever rot the chaos
+            # window left behind and re-execute exactly the lost cells,
+            # so the verification pass observes a healed journal.
+            recovery = run_grid(
+                "chaos-grid", _grid_cell, specs, registry=registry_path,
+                n_workers=1,
+            )
+            salvage_executed = recovery.executed
+            salvaged = recovery.salvaged
     else:
         run_grid("chaos-grid", _grid_cell, specs, registry=registry_path,
                  n_workers=1)
@@ -244,6 +307,9 @@ def _run_grid_phase(plan: ChaosPlan, root: str, chaos: bool,
         "n_cells": len(specs),
         "restarts": restarts,
         "fs_faults": fs_faults,
+        "damage_records": damage_records,
+        "salvage_executed": salvage_executed,
+        "salvaged": salvaged,
         "chaos_kills": chaos_kills,
     }
 
@@ -352,21 +418,29 @@ def _run_service_phase(plan: ChaosPlan, root: str, chaos: bool,
 
     chaos_kills = 0
     journal_failures = 0
+    store_damage = 0
+    store_salvaged = 0
     if chaos:
         fs = FaultFS()
         fs.add_rule(svc.store.path, **plan.fs_rule_kwargs())
+        fs.add_rule(svc.store.path, **plan.corrupt_rule_kwargs("store"))
         with fs:
             # Crash cycles: pump a little, then abandon the instance
             # without any shutdown courtesy (journal-first means disk is
-            # the only truth) and recover into a fresh one.
+            # the only truth) and recover into a fresh one.  Each
+            # recovery scrubs the journal: rotted records are
+            # quarantined and the reopened instance re-runs whatever
+            # transitions that loss reverted.
             for _ in range(plan.restarts):
                 svc.pump(max_batches=1)
                 svc.stop()
                 chaos_kills += svc.executor.stats().chaos_kills
                 journal_failures += svc.stats()["chaos"]["journal_write_failures"]
                 svc = _reopen_service(service_root, plan, chaos, deadline)
+                store_salvaged += svc.store.salvaged_records
             _drain_service(svc, deadline)
         fs_faults = fs.failures
+        store_damage = fs.damage_records
     else:
         fs_faults = 0
         _drain_service(svc, deadline)
@@ -381,6 +455,7 @@ def _run_service_phase(plan: ChaosPlan, root: str, chaos: bool,
     verify_store = SessionStore(svc.store.path)
     if break_invariant != "skip-replay":
         verify_store.open()
+        store_salvaged += verify_store.salvaged_records
     final = _make_service(service_root, plan, chaos=False)
     evals_spent = {
         tenant: final.admission.evals_spent(verify_store, tenant)
@@ -394,6 +469,8 @@ def _run_service_phase(plan: ChaosPlan, root: str, chaos: bool,
         "chaos_kills": chaos_kills,
         "journal_failures": journal_failures,
         "fs_faults": fs_faults,
+        "store_damage": store_damage,
+        "store_salvaged": store_salvaged,
         "recovered_jobs": recovered_jobs,
     }
 

@@ -249,6 +249,7 @@ DEAD_CODE_SUBPACKAGES = (
     f"{PACKAGE}.chaos",
     f"{PACKAGE}.meta",
     f"{PACKAGE}.spec",
+    f"{PACKAGE}.exec.scrub",
 )
 
 
@@ -350,7 +351,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print("lint: clean (import graph acyclic, no hidden internal imports, "
           "no dead search/transfer/reliability/service/ml/perf/chaos/meta/"
-          "spec code)")
+          "spec/scrub code)")
     return 0
 
 

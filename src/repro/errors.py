@@ -184,7 +184,19 @@ class StreamExhaustedError(SearchError):
 
 
 class CheckpointError(ReproError):
-    """A search checkpoint could not be written, read, or applied."""
+    """A search checkpoint could not be written, read, or applied.
+
+    ``path``/``offset`` locate the damage when it is known: the file
+    that failed verification and the byte offset where the decoder or
+    checksum verifier gave up (``None`` when not applicable — e.g. a
+    semantic rejection of an otherwise-intact document).
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 offset: int | None = None) -> None:
+        self.path = path
+        self.offset = offset
+        super().__init__(message)
 
 
 class JournalWriteError(CheckpointError):
@@ -201,9 +213,8 @@ class JournalWriteError(CheckpointError):
 
     def __init__(self, message: str, path: str | None = None,
                  errno: int | None = None) -> None:
-        self.path = path
         self.errno = errno
-        super().__init__(message)
+        super().__init__(message, path=path)
 
 
 class RegistryCorruptionError(CheckpointError, EvaluationFailure):
@@ -213,15 +224,14 @@ class RegistryCorruptionError(CheckpointError, EvaluationFailure):
     journal is the run's durable state) and an operational failure the
     execution layer knows how to handle (an :class:`EvaluationFailure`):
     a torn *final* record — the signature of a crash mid-append — is
-    dropped and the grid resumes; damage anywhere else raises this
-    error with the offending location.
+    dropped and the grid resumes; damage anywhere else is quarantined
+    and salvaged by default (see :mod:`repro.exec.scrub`), or raises
+    this error with the offending location under ``salvage="raise"``.
     """
 
     def __init__(self, message: str, path: str | None = None,
                  offset: int | None = None) -> None:
-        self.path = path
-        self.offset = offset
-        super().__init__(message)
+        super().__init__(message, path=path, offset=offset)
 
 
 class ExperimentError(ReproError):

@@ -853,6 +853,9 @@ class GridOutcome:
     cached: int
     executed: int
     failures: tuple[CellFailure, ...]
+    #: Journal records quarantined by scrub-and-salvage during the
+    #: registry load that seeded this run (0 on a healthy journal).
+    salvaged: int = 0
 
     @property
     def ok(self) -> bool:
@@ -987,4 +990,5 @@ def run_grid(
         cached=cached,
         executed=len(todo) - len(failures),
         failures=tuple(failures),
+        salvaged=state.salvaged_records,
     )

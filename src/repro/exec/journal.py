@@ -20,22 +20,118 @@ persist as fsync'd JSONL journals with the same durability contract:
   and the journal itself is still recoverable (a partial write is a
   torn tail, repaired on the next append and dropped by readers).
 
-This module owns only bytes-on-disk mechanics; record schemas,
-checksums, and replay semantics belong to the callers.
+Beyond the torn-tail contract, records can be wrapped in a per-record
+CRC32 **envelope** (:func:`frame_line` / :func:`unframe_line`):
+``{"crc":<crc32>,"rec":{...},"v":1}`` where the checksum covers the
+canonical JSON bytes of the inner record.  A flipped bit anywhere in a
+framed line — even one that still parses as JSON — fails verification
+instead of being replayed as quietly wrong data.  Unframed legacy
+lines pass through :func:`unframe_line` unchanged, so journals written
+before framing (and committed golden fixtures) keep loading.
+
+This module owns only bytes-on-disk mechanics and the envelope codec;
+record schemas, replay semantics, and salvage policy belong to the
+callers (see :mod:`repro.exec.scrub`).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Iterable, Iterator
 
 from repro.errors import JournalWriteError
 
-__all__ = ["JsonlJournal"]
+__all__ = [
+    "FRAME_VERSION",
+    "JsonlJournal",
+    "canonical_json",
+    "frame_line",
+    "frame_obj",
+    "unframe_line",
+    "unframe_obj",
+]
 
 #: Suffix of the temporary sibling a rewrite stages into.
 _REWRITE_SUFFIX = ".rewrite.tmp"
+
+#: Envelope schema version: ``{"crc":N,"rec":{...},"v":FRAME_VERSION}``.
+FRAME_VERSION = 1
+
+#: The exact key set that marks a parsed line as an envelope.  Caller
+#: record schemas never collide (registry records carry ``fp``/``status``,
+#: store records carry ``kind``), so detection is unambiguous.
+_ENVELOPE_KEYS = frozenset({"crc", "rec", "v"})
+
+
+def _crc32(payload: str) -> int:
+    return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+
+
+def canonical_json(obj) -> str:
+    """The canonical one-line JSON encoding checksums are computed over."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def frame_line(payload_line: str) -> str:
+    """Wrap one canonical-JSON record line in a CRC32 envelope.
+
+    ``payload_line`` must be the record's canonical JSON
+    (:func:`canonical_json`) so that verification can recompute the
+    exact bytes the checksum was taken over.  The payload is embedded
+    verbatim; keys are emitted in sorted order (``crc`` < ``rec`` <
+    ``v``) so the envelope itself is canonical JSON too.
+    """
+    return '{"crc":%d,"rec":%s,"v":%d}' % (
+        _crc32(payload_line), payload_line, FRAME_VERSION,
+    )
+
+
+def frame_obj(obj: dict) -> str:
+    """Canonically encode ``obj`` and wrap it (:func:`frame_line`)."""
+    return frame_line(canonical_json(obj))
+
+
+def unframe_obj(obj):
+    """Verify an already-parsed envelope; pass legacy records through.
+
+    Returns ``(record, framed)``.  Raises :class:`ValueError` when the
+    object is an envelope with an unknown version or a CRC mismatch.
+    Non-envelope objects (legacy unframed records, or non-dicts) are
+    returned as-is with ``framed=False``.
+    """
+    if not (
+        isinstance(obj, dict)
+        and set(obj) == _ENVELOPE_KEYS
+        and isinstance(obj.get("rec"), dict)
+    ):
+        return obj, False
+    if obj["v"] != FRAME_VERSION:
+        raise ValueError(f"unknown journal frame version {obj['v']!r}")
+    expected = obj["crc"]
+    actual = _crc32(canonical_json(obj["rec"]))
+    if expected != actual:
+        raise ValueError(
+            f"record checksum mismatch: stored crc32 {expected!r}, "
+            f"computed {actual}"
+        )
+    return obj["rec"], True
+
+
+def unframe_line(line) -> tuple[dict, bool]:
+    """Parse one journal line and verify its envelope if framed.
+
+    Accepts ``bytes`` or ``str``.  Returns ``(record, framed)``; raises
+    :class:`ValueError` on unparseable JSON, a non-dict line, an
+    unknown envelope version, or a CRC mismatch.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError(f"journal line is not a JSON object: {obj!r}")
+    return unframe_obj(obj)
 
 
 class JsonlJournal:

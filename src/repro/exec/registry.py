@@ -8,15 +8,24 @@ line.  Loading tolerates exactly that: a final line that does not parse
 (or whose payload fails its checksum) is dropped with a warning and
 truncated from the file — it is the signature of a process killed
 mid-append, and truncating keeps later appends from gluing a fresh
-record onto the torn partial line — while damage anywhere
-else raises :class:`~repro.errors.RegistryCorruptionError` with the
-byte offset, because silent data loss in the middle of a journal means
-something other than a crash happened to the file.
+record onto the torn partial line.  Damage anywhere *else* is not a
+crash artifact, and is handled by salvage policy
+(:mod:`repro.exec.scrub`): under ``quarantine`` (the default) the
+damaged records are preserved in a ``.quarantine`` sidecar with byte
+offsets, the clean journal is atomically rewritten, and the load
+continues — resuming re-executes exactly the cells whose records were
+lost; under ``raise`` (``REPRO_SALVAGE=raise`` or
+``load(salvage="raise")``) the old fail-stop behavior raises
+:class:`~repro.errors.RegistryCorruptionError` with the byte offset.
 
 Records are keyed by the deterministic cell fingerprint
 (:mod:`repro.exec.fingerprint`); completed cells carry their result as
 a base64 pickle with a SHA-256 checksum, so resuming a grid
 re-materializes bit-identical objects without re-running anything.
+New appends are wrapped in per-record CRC32 envelopes
+(:func:`~repro.exec.journal.frame_line`), so a flipped bit anywhere in
+a record — even one that still parses — is *detected* instead of being
+replayed as quietly wrong data; unframed legacy journals keep loading.
 
 Long-lived journals (the service layer appends for the lifetime of a
 process, not one grid) are kept bounded by **compaction**:
@@ -39,10 +48,18 @@ import pickle
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any
 
 from repro.errors import RegistryCorruptionError
-from repro.exec.journal import JsonlJournal
+from repro.exec.journal import JsonlJournal, frame_line, unframe_line
+from repro.exec.scrub import (
+    ScrubReport,
+    quarantine_and_rewrite,
+    raise_corruption,
+    resolve_salvage,
+    scan_journal,
+    scrub_journal,
+)
 
 __all__ = [
     "RECORD_VERSION",
@@ -158,6 +175,13 @@ class RegistryState:
     failed: dict[str, RunRecord] = field(default_factory=dict)
     n_records: int = 0
     dropped_partial: bool = False
+    #: the scrub report when the load salvaged damaged records.
+    salvage: ScrubReport | None = None
+
+    @property
+    def salvaged_records(self) -> int:
+        """Damaged records quarantined by this load (0 when clean)."""
+        return 0 if self.salvage is None else len(self.salvage.quarantined)
 
     def record_for(self, fingerprint: str) -> RunRecord | None:
         return self.completed.get(fingerprint) or self.failed.get(fingerprint)
@@ -194,19 +218,16 @@ class RunRegistry:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def _repair_tail(self) -> None:
-        """Truncate a torn trailing write so the journal ends on a newline."""
-        self._journal.repair_tail()
-
     def append(self, record: RunRecord) -> None:
         """Durably append one record (single write + flush + fsync).
 
         Raises :class:`~repro.errors.JournalWriteError` when the
         filesystem refuses the write; the record is then **not**
         acknowledged and no torn state is left behind that a later
-        append or load cannot repair.
+        append or load cannot repair.  The record is wrapped in a
+        CRC32 envelope so bit rot at rest is detected on load.
         """
-        self._journal.append_line(_record_to_json(record))
+        self._journal.append_line(frame_line(_record_to_json(record)))
 
     def mark_completed(
         self,
@@ -257,44 +278,65 @@ class RunRegistry:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def _iter_lines(self) -> Iterator[tuple[int, bytes, bool]]:
-        """Yield ``(byte_offset, line, is_final)`` for every journal line."""
-        return self._journal.iter_lines()
+    @staticmethod
+    def _decode_line(line: bytes) -> tuple[RunRecord, bool]:
+        """Verify one journal line (envelope CRC + schema + payload SHA)."""
+        rec, framed = unframe_line(line)
+        return _record_from_dict(rec), framed
 
-    def load(self) -> RegistryState:
+    def load(self, salvage: str | None = None) -> RegistryState:
         """Replay the journal into its latest per-fingerprint state.
 
-        A torn final line is dropped (with a warning); malformed data
-        anywhere else raises :class:`RegistryCorruptionError` naming the
+        A torn final line is dropped (with a warning).  Mid-journal
+        damage — a failed envelope CRC, a payload SHA mismatch, an
+        undecodable record — follows ``salvage`` (``REPRO_SALVAGE``
+        when ``None``): ``"quarantine"`` preserves the damaged lines in
+        the ``.quarantine`` sidecar, atomically rewrites the clean
+        journal, warns, and keeps loading, so resuming re-executes only
+        the lost cells (the count is on ``state.salvaged_records``);
+        ``"raise"`` raises :class:`RegistryCorruptionError` naming the
         path and byte offset.
         """
+        mode = resolve_salvage(salvage)
         state = RegistryState()
         if not self.exists():
             return state
-        for offset, line, is_final in self._iter_lines():
-            try:
-                record = _record_from_dict(json.loads(line.decode("utf-8")))
-            except (ValueError, KeyError, TypeError) as exc:
-                if is_final:
-                    state.dropped_partial = True
-                    try:
-                        self._repair_tail()
-                    except OSError:
-                        pass  # read-only journal: drop in memory only
-                    warnings.warn(
-                        f"run registry {self.path!r}: dropping torn final "
-                        f"record at byte offset {offset} ({exc}); the cell "
-                        "will simply re-run",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-                    break
-                raise RegistryCorruptionError(
-                    f"run registry {self.path!r} is corrupt at byte offset "
-                    f"{offset}: {exc}",
-                    path=self.path,
-                    offset=offset,
-                ) from exc
+        clean, damaged, torn = scan_journal(self._journal, self._decode_line)
+        if damaged and mode == "raise":
+            raise_corruption("run registry", self.path, damaged[0])
+        if torn is not None:
+            state.dropped_partial = True
+            warnings.warn(
+                f"run registry {self.path!r}: dropping torn final record "
+                f"at byte offset {torn.offset} ({torn.reason}); the cell "
+                "will simply re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if damaged:
+            quarantine_path, rewritten = quarantine_and_rewrite(
+                self._journal, clean, damaged
+            )
+            state.salvage = ScrubReport(
+                path=self.path,
+                n_records=len(clean),
+                n_framed=sum(1 for s in clean if s.framed),
+                quarantined=tuple(damaged),
+                dropped_partial=torn is not None,
+                rewritten=rewritten,
+                quarantine_path=quarantine_path,
+            )
+            offsets = ", ".join(str(d.offset) for d in damaged)
+            warnings.warn(
+                f"run registry {self.path!r}: quarantined {len(damaged)} "
+                f"damaged record(s) at byte offset(s) {offsets} "
+                f"(sidecar: {quarantine_path}); the lost cells will simply "
+                "re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        for scanned in clean:
+            record = scanned.record
             state.n_records += 1
             if record.completed:
                 state.completed[record.fingerprint] = record
@@ -307,6 +349,14 @@ class RunRegistry:
 
     def completed_fingerprints(self) -> set[str]:
         return set(self.load().completed)
+
+    def scrub(self, salvage: bool = True) -> ScrubReport:
+        """Verify every record (envelope CRC + schema + payload SHA).
+
+        With ``salvage`` damaged records are quarantined and the clean
+        journal atomically swapped in; without it nothing is modified.
+        """
+        return scrub_journal(self.path, self._decode_line, salvage=salvage)
 
     def clear(self) -> None:
         """Delete the journal (a fresh grid starts from nothing)."""
@@ -336,7 +386,7 @@ class RunRegistry:
         ] + [
             state.failed[fp] for fp in sorted(state.failed)
         ]
-        self._journal.rewrite(_record_to_json(r) for r in records)
+        self._journal.rewrite(frame_line(_record_to_json(r)) for r in records)
         return CompactionStats(
             records_before=state.n_records,
             records_after=len(records),

@@ -1,0 +1,401 @@
+"""Scrub-and-salvage: verify journals, quarantine damage, keep going.
+
+The journal layer defends against *torn tails* (a crash mid-append) by
+construction; this module handles everything else that can happen to
+bytes at rest — a flipped bit, a truncated middle, a corrupted
+compaction — without turning one bad record into a dead campaign:
+
+* :func:`scan_journal` verifies every line of a journal (envelope CRC,
+  payload SHA-256, caller-supplied decoding) and partitions it into
+  clean lines and :class:`DamagedLine` findings with byte-offset
+  provenance;
+* :func:`quarantine_and_rewrite` moves damaged lines to a sidecar
+  ``<journal>.quarantine`` file (JSONL: path, offset, length, reason,
+  base64 raw bytes, timestamp — nothing is silently discarded) and
+  atomically rewrites the journal with only the surviving lines, each
+  byte-for-byte as read, so legacy unframed records stay legacy;
+* :func:`scrub_journal` / :func:`scrub_checkpoint` wrap both into a
+  :class:`ScrubReport` for one file, and :func:`main` exposes the pass
+  as ``python -m repro.exec.scrub`` (``make scrub``).
+
+Salvage policy is governed by ``REPRO_SALVAGE`` (:func:`salvage_mode`):
+``quarantine`` (the default) lets :class:`~repro.exec.RunRegistry` and
+the service :class:`~repro.service.store.SessionStore` salvage on load
+and re-execute only what was actually lost; ``raise`` preserves the
+old fail-stop behavior (:class:`~repro.errors.RegistryCorruptionError`
+at the first damaged record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import hashlib
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import JournalWriteError, RegistryCorruptionError
+from repro.exec.journal import JsonlJournal, unframe_line
+
+__all__ = [
+    "SALVAGE_MODES",
+    "QUARANTINE_SUFFIX",
+    "DamagedLine",
+    "ScannedLine",
+    "ScrubReport",
+    "salvage_mode",
+    "resolve_salvage",
+    "scan_journal",
+    "quarantine_and_rewrite",
+    "scrub_journal",
+    "scrub_checkpoint",
+    "main",
+]
+
+#: Salvage policies ``REPRO_SALVAGE`` may select.
+SALVAGE_MODES = ("quarantine", "raise")
+
+#: Sidecar suffix damaged records are preserved under.
+QUARANTINE_SUFFIX = ".quarantine"
+
+
+def salvage_mode(default: str = "quarantine") -> str:
+    """The salvage policy from ``REPRO_SALVAGE`` (default ``quarantine``).
+
+    ``quarantine`` moves damaged records to the sidecar and continues;
+    ``raise`` restores the fail-stop behavior of raising
+    :class:`~repro.errors.RegistryCorruptionError` at the first damaged
+    mid-journal record.
+    """
+    env = os.environ.get("REPRO_SALVAGE")
+    if env is None or env == "":
+        return default
+    value = env.strip().lower()
+    if value not in SALVAGE_MODES:
+        raise ValueError(
+            f"REPRO_SALVAGE={env!r}: expected one of {SALVAGE_MODES}"
+        )
+    return value
+
+
+def resolve_salvage(salvage: str | None) -> str:
+    """Validate an explicit salvage mode, or fall back to the env knob."""
+    if salvage is None:
+        return salvage_mode()
+    if salvage not in SALVAGE_MODES:
+        raise ValueError(
+            f"salvage={salvage!r}: expected one of {SALVAGE_MODES}"
+        )
+    return salvage
+
+
+@dataclass(frozen=True)
+class DamagedLine:
+    """One journal line that failed verification, with provenance."""
+
+    offset: int  # byte offset of the line start
+    raw: bytes  # the damaged bytes, exactly as read
+    reason: str  # what the decoder/verifier rejected
+
+    @property
+    def length(self) -> int:
+        return len(self.raw)
+
+    def to_wire(self, path: str) -> dict:
+        return {
+            "path": path,
+            "offset": self.offset,
+            "length": self.length,
+            "reason": self.reason,
+            "raw": base64.b64encode(self.raw).decode("ascii"),
+            "ts": time.time(),
+        }
+
+
+@dataclass(frozen=True)
+class ScannedLine:
+    """One journal line that verified clean."""
+
+    offset: int
+    line: str  # the line exactly as read (rewrites preserve it verbatim)
+    record: object  # whatever the decoder produced
+    framed: bool  # True when the line carried a CRC32 envelope
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """What one scrub pass over one file found and did."""
+
+    path: str
+    n_records: int = 0  # records that verified clean
+    n_framed: int = 0  # ... of which carried CRC32 envelopes
+    quarantined: tuple[DamagedLine, ...] = ()
+    dropped_partial: bool = False  # a torn final line was dropped
+    rewritten: bool = False  # the clean journal was swapped in
+    quarantine_path: str | None = None
+
+    @property
+    def n_legacy(self) -> int:
+        """Clean records that predate framing (no integrity envelope)."""
+        return self.n_records - self.n_framed
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined and not self.dropped_partial
+
+    def to_wire(self) -> dict:
+        return {
+            "path": self.path,
+            "n_records": self.n_records,
+            "n_framed": self.n_framed,
+            "n_legacy": self.n_legacy,
+            "quarantined": [
+                {"offset": d.offset, "length": d.length, "reason": d.reason}
+                for d in self.quarantined
+            ],
+            "dropped_partial": self.dropped_partial,
+            "rewritten": self.rewritten,
+            "quarantine_path": self.quarantine_path,
+        }
+
+    def summary(self) -> str:
+        verdict = "clean" if self.ok else "DAMAGED"
+        parts = [
+            f"{self.path}: {verdict} — {self.n_records} record(s)"
+            f" ({self.n_framed} framed, {self.n_legacy} legacy)"
+        ]
+        if self.quarantined:
+            offsets = ", ".join(str(d.offset) for d in self.quarantined)
+            parts.append(
+                f"{len(self.quarantined)} quarantined at byte offset(s) "
+                f"{offsets}"
+            )
+            if self.rewritten:
+                parts.append(f"salvaged to {self.quarantine_path}")
+        if self.dropped_partial:
+            parts.append("torn final line dropped")
+        return "; ".join(parts)
+
+
+def _verify_payload_sha(record: object) -> None:
+    """Deep-check a registry-style base64 payload against its SHA-256."""
+    if isinstance(record, dict) and "payload" in record:
+        payload = base64.b64decode(record["payload"])
+        if hashlib.sha256(payload).hexdigest() != record.get("sha"):
+            raise ValueError("payload checksum mismatch")
+
+
+def _decode_generic(line: bytes) -> tuple[object, bool]:
+    """Default decoder: envelope/CRC verification plus payload SHA."""
+    record, framed = unframe_line(line)
+    _verify_payload_sha(record)
+    return record, framed
+
+
+def scan_journal(
+    journal: JsonlJournal,
+    decode: Callable[[bytes], tuple[object, bool]] = _decode_generic,
+    repair_tail: bool = True,
+) -> tuple[list[ScannedLine], list[DamagedLine], DamagedLine | None]:
+    """Verify every journal line; partition clean from damaged.
+
+    ``decode`` maps raw line bytes to ``(record, framed)`` and raises
+    ``ValueError``/``KeyError``/``TypeError`` on anything unacceptable.
+    Returns ``(clean, damaged, torn)`` where ``torn`` is a final line
+    that failed to decode — the crash-mid-append signature, truncated
+    from the file when ``repair_tail`` is set — and ``damaged`` holds
+    every *mid-journal* failure, which is never a crash artifact.
+    """
+    clean: list[ScannedLine] = []
+    damaged: list[DamagedLine] = []
+    torn: DamagedLine | None = None
+    if not journal.exists():
+        return clean, damaged, torn
+    for offset, line, is_final in journal.iter_lines():
+        try:
+            record, framed = decode(line)
+        except (ValueError, KeyError, TypeError) as exc:
+            if is_final:
+                torn = DamagedLine(offset=offset, raw=bytes(line),
+                                   reason=str(exc))
+                if repair_tail:
+                    try:
+                        journal.repair_tail()
+                    except OSError:
+                        pass  # read-only journal: drop in memory only
+                break
+            damaged.append(DamagedLine(offset=offset, raw=bytes(line),
+                                       reason=str(exc)))
+            continue
+        clean.append(ScannedLine(
+            offset=offset, line=line.decode("utf-8"),
+            record=record, framed=framed,
+        ))
+    return clean, damaged, torn
+
+
+def quarantine_and_rewrite(
+    journal: JsonlJournal,
+    clean: list[ScannedLine],
+    damaged: list[DamagedLine],
+) -> tuple[str | None, bool]:
+    """Preserve damaged lines in the sidecar, swap in the clean journal.
+
+    Both steps are best-effort: salvage must never be blocked by the
+    same failing disk that caused the damage, so a sidecar append or
+    rewrite refusal leaves the in-memory salvage intact and returns
+    what actually happened — ``(quarantine_path_or_None, rewritten)``.
+    The rewrite preserves surviving lines byte-for-byte as read.
+    """
+    quarantine_path: str | None = journal.path + QUARANTINE_SUFFIX
+    sidecar = JsonlJournal(quarantine_path)
+    try:
+        for entry in damaged:
+            sidecar.append(entry.to_wire(journal.path))
+    except JournalWriteError:
+        quarantine_path = None
+    rewritten = False
+    try:
+        journal.rewrite(s.line for s in clean)
+        rewritten = True
+    except JournalWriteError:
+        pass
+    return quarantine_path, rewritten
+
+
+def raise_corruption(
+    label: str, path: str, damaged: DamagedLine
+) -> None:
+    """The fail-stop path: surface the first damaged record and stop."""
+    raise RegistryCorruptionError(
+        f"{label} {path!r} is corrupt at byte offset {damaged.offset}: "
+        f"{damaged.reason}",
+        path=path,
+        offset=damaged.offset,
+    )
+
+
+def scrub_journal(
+    path,
+    decode: Callable[[bytes], tuple[object, bool]] = _decode_generic,
+    salvage: bool = True,
+) -> ScrubReport:
+    """Scrub one JSONL journal; salvage unless ``salvage=False``.
+
+    With ``salvage`` (the default) damaged records are quarantined to
+    the sidecar and the clean journal is atomically rewritten; without
+    it the pass is a pure verification (``--check``) that modifies
+    nothing — not even a torn tail.
+    """
+    journal = JsonlJournal(path)
+    clean, damaged, torn = scan_journal(journal, decode,
+                                        repair_tail=salvage)
+    quarantine_path = None
+    rewritten = False
+    if damaged and salvage:
+        quarantine_path, rewritten = quarantine_and_rewrite(
+            journal, clean, damaged
+        )
+    return ScrubReport(
+        path=journal.path,
+        n_records=len(clean),
+        n_framed=sum(1 for s in clean if s.framed),
+        quarantined=tuple(damaged),
+        dropped_partial=torn is not None,
+        rewritten=rewritten,
+        quarantine_path=quarantine_path,
+    )
+
+
+def scrub_checkpoint(path) -> ScrubReport:
+    """Verify one single-document checkpoint file (report-only).
+
+    Checkpoints are not salvaged line-by-line — their recovery story is
+    the ``.bak`` sibling kept by
+    :class:`~repro.reliability.CheckpointManager` — so a damaged
+    checkpoint is reported, never modified.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except FileNotFoundError:
+        return ScrubReport(path=path)
+    try:
+        record, framed = unframe_line(blob)
+    except (ValueError, KeyError, TypeError) as exc:
+        reason = str(exc)
+        backup = path + ".bak"  # CheckpointManager's backup sibling
+        if os.path.exists(backup):
+            reason += f" (backup {backup!r} present)"
+        return ScrubReport(
+            path=path,
+            quarantined=(DamagedLine(offset=0, raw=blob, reason=reason),),
+        )
+    return ScrubReport(path=path, n_records=1, n_framed=1 if framed else 0)
+
+
+def _collect_targets(paths: list[str]) -> list[str]:
+    """Expand CLI arguments: directories walk to their ``*.jsonl`` files."""
+    targets: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(dirnames)
+                targets.extend(
+                    os.path.join(dirpath, f)
+                    for f in sorted(filenames)
+                    if f.endswith(".jsonl")
+                )
+        else:
+            targets.append(path)
+    return targets
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.exec.scrub``: verify/salvage journals on disk.
+
+    Journals (``*.jsonl``, or any directory which is walked for them)
+    are scrubbed and salvaged; other explicit file arguments are
+    treated as single-document checkpoints and verified in place.
+    Exit status 0 means every record verified clean; 1 means damage
+    was found (and, unless ``--check``, quarantined).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.scrub",
+        description="Verify journal/checkpoint integrity; quarantine "
+        "damaged records and atomically rewrite the clean journal.",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="journal files, checkpoint files, or "
+                        "directories to walk for *.jsonl journals")
+    parser.add_argument("--check", action="store_true",
+                        help="verify only; do not quarantine, rewrite, "
+                        "or repair anything")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only damaged files")
+    ns = parser.parse_args(argv)
+
+    reports: list[ScrubReport] = []
+    for target in _collect_targets(ns.paths):
+        if target.endswith(".jsonl"):
+            reports.append(scrub_journal(target, salvage=not ns.check))
+        else:
+            reports.append(scrub_checkpoint(target))
+    damaged = [r for r in reports if not r.ok]
+    for report in reports:
+        if not ns.quiet or not report.ok:
+            print(report.summary())
+    print(
+        f"scrub: {len(reports)} file(s), "
+        f"{sum(r.n_records for r in reports)} clean record(s), "
+        f"{sum(len(r.quarantined) for r in reports)} quarantined"
+    )
+    return 1 if damaged else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import CheckpointError
+from repro.exec.journal import frame_line, unframe_obj
 from repro.search.result import EvaluationRecord, SearchTrace
 from repro.searchspace.space import SearchSpace
 
@@ -189,22 +190,57 @@ def _backup_path(path: str) -> str:
     return f"{path}.bak"
 
 
+def _offset_label(exc: CheckpointError) -> str:
+    """The byte offset an error located, or ``n/a`` (semantic reject)."""
+    return "n/a" if getattr(exc, "offset", None) is None else str(exc.offset)
+
+
+def _verifies(path: str) -> bool:
+    """Whether ``path`` currently holds a checkpoint that passes
+    verification (parses, and its CRC32 envelope — if framed — holds)."""
+    try:
+        _read_json(path)
+    except CheckpointError:
+        return False
+    return True
+
+
 def _atomic_write(path: str, payload: dict, keep_backup: bool = False) -> None:
     """Write-then-fsync-then-rename; with ``keep_backup`` the previous
-    file (the last checkpoint that parsed well enough to be saved over)
-    survives as ``<path>.bak`` — the recovery target when the live file
-    is later found truncated or corrupt."""
+    file survives as ``<path>.bak`` — the recovery target when the live
+    file is later found truncated or corrupt.  Only a previous file
+    that still *verifies* is promoted: a corrupt primary never
+    overwrites the last good backup.
+
+    The document is wrapped in the journal layer's CRC32 envelope
+    (:func:`~repro.exec.journal.frame_line`), so *any* bit flip at rest
+    — even one that still parses as JSON — fails verification on load
+    instead of resuming from quietly wrong state; legacy unframed
+    checkpoints keep loading.
+    """
     tmp = f"{path}.tmp"
+    doc = json.dumps(
+        _encode_floats(payload), sort_keys=True, separators=(",", ":"),
+        allow_nan=False,
+    )
     try:
         with open(tmp, "w") as fh:
-            json.dump(_encode_floats(payload), fh, allow_nan=False)
+            fh.write(frame_line(doc))
             fh.flush()
             os.fsync(fh.fileno())
-        if keep_backup and os.path.exists(path):
+        if keep_backup and os.path.exists(path) and _verifies(path):
+            # Rotation is gated on verification: promoting a bit-rotted
+            # primary would clobber the last good backup, and the very
+            # next corruption hit would leave *both* copies bad.  A
+            # primary that fails its CRC is simply discarded by the
+            # rename below — the existing backup stays the recovery
+            # target.
             os.replace(path, _backup_path(path))
         os.replace(tmp, path)
     except OSError as exc:
-        raise CheckpointError(f"could not write checkpoint {path!r}: {exc}") from exc
+        raise CheckpointError(
+            f"could not write checkpoint {path!r}: {exc}", path=path
+        ) from exc
 
 
 def atomic_write_text(path, text: str) -> None:
@@ -232,16 +268,29 @@ def _read_json(path: str) -> dict:
         with open(path) as fh:
             blob = fh.read()
     except OSError as exc:
-        raise CheckpointError(f"could not read checkpoint {path!r}: {exc}") from exc
+        raise CheckpointError(
+            f"could not read checkpoint {path!r}: {exc}", path=path
+        ) from exc
     try:
-        return _decode_floats(json.loads(blob))
+        document = json.loads(blob)
     except json.JSONDecodeError as exc:
         # exc.pos is a character offset; report the byte offset so the
         # message matches what `truncate`, `dd`, and hexdumps show.
         offset = len(blob[: exc.pos].encode("utf-8"))
         raise CheckpointError(
-            f"corrupt checkpoint {path!r} at byte offset {offset}: {exc.msg}"
+            f"corrupt checkpoint {path!r} at byte offset {offset}: {exc.msg}",
+            path=path,
+            offset=offset,
         ) from exc
+    try:
+        payload, _framed = unframe_obj(document)
+    except ValueError as exc:
+        # The envelope is one checksum over the whole document, so a
+        # verification failure locates the file, not a byte: offset 0.
+        raise CheckpointError(
+            f"corrupt checkpoint {path!r}: {exc}", path=path, offset=0
+        ) from exc
+    return _decode_floats(payload)
 
 
 class CheckpointManager:
@@ -270,12 +319,16 @@ class CheckpointManager:
     def load(self) -> SearchCheckpoint | None:
         """The stored snapshot, or ``None`` when no file exists.
 
-        A truncated or corrupt snapshot (a crash mid-save, a damaged
-        disk) raises :class:`CheckpointError` naming the path and byte
-        offset — unless the ``.bak`` of the last good checkpoint (kept
-        by every :meth:`save`) still parses, in which case the resume
-        silently falls back to it: strictly better than restarting, and
-        exact because every save point is a complete snapshot.
+        A truncated or corrupt snapshot (a crash mid-save, a flipped
+        bit caught by the CRC32 envelope) raises
+        :class:`CheckpointError` naming the path and byte offset —
+        unless the ``.bak`` of the last good checkpoint (kept by every
+        :meth:`save`) still verifies, in which case the resume falls
+        back to it with a warning: strictly better than restarting, and
+        exact because every save point is a complete snapshot.  When
+        the backup *also* fails verification, the error reports both
+        paths and both byte offsets (and carries the backup's on
+        ``backup_path``/``backup_offset``).
         """
         if not self.exists():
             return None
@@ -287,8 +340,18 @@ class CheckpointManager:
                 raise
             try:
                 snapshot = SearchCheckpoint.from_dict(_read_json(backup))
-            except CheckpointError:
-                raise exc from None
+            except CheckpointError as bak_exc:
+                combined = CheckpointError(
+                    "checkpoint and backup both failed verification — "
+                    f"primary {self.path!r} (byte offset "
+                    f"{_offset_label(exc)}): {exc}; backup {backup!r} "
+                    f"(byte offset {_offset_label(bak_exc)}): {bak_exc}",
+                    path=self.path,
+                    offset=exc.offset,
+                )
+                combined.backup_path = backup
+                combined.backup_offset = bak_exc.offset
+                raise combined from exc
             warnings.warn(
                 f"checkpoint {self.path!r} is unreadable ({exc}); "
                 f"resuming from backup {backup!r}",

@@ -12,6 +12,14 @@ as a client-visible :class:`~repro.service.model.Event`, which is what
 makes recovery exact: replaying the journal rebuilds both the state
 *and* the event stream clients were consuming.
 
+Every append — including the compaction snapshot and its retained
+event tail — is wrapped in a per-record CRC32 envelope
+(:func:`~repro.exec.journal.frame_line`), so bit rot that still parses
+as JSON is *detected* on replay instead of resurrecting quietly wrong
+state; unframed legacy journals keep loading, and mid-journal damage
+is quarantined and salvaged on :meth:`SessionStore.open` (see
+:mod:`repro.exec.scrub`) rather than killing the service.
+
 Long-lived services rotate the journal with :meth:`SessionStore.compact`:
 the current state (all sessions, all jobs, a bounded tail of events per
 live session) is staged as one ``snapshot`` record plus the retained
@@ -28,9 +36,17 @@ import time
 import warnings
 from collections import deque
 
-from repro.errors import RegistryCorruptionError
-from repro.exec.journal import JsonlJournal
+from repro.exec.journal import JsonlJournal, frame_line, unframe_line
+from repro.exec.scrub import (
+    DamagedLine,
+    ScrubReport,
+    quarantine_and_rewrite,
+    raise_corruption,
+    resolve_salvage,
+    scan_journal,
+)
 from repro.service.model import (
+    SESSION_OPEN,
     Event,
     JobRecord,
     SessionRecord,
@@ -69,6 +85,15 @@ class SessionStore:
         self.events: deque[Event] = deque(maxlen=event_buffer)
         self.next_seq = 1
         self.recovered = False  # True when open() replayed an existing journal
+        self.salvage_report: ScrubReport | None = None
+        self.synthesized_sessions = 0  # sessions rebuilt from surviving jobs
+
+    @property
+    def salvaged_records(self) -> int:
+        """Damaged records quarantined by the last open() (0 when clean)."""
+        if self.salvage_report is None:
+            return 0
+        return len(self.salvage_report.quarantined)
 
     @property
     def path(self) -> str:
@@ -80,51 +105,113 @@ class SessionStore:
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------
-    def open(self) -> "SessionStore":
+    @staticmethod
+    def _decode_line(line: bytes) -> tuple[dict, bool]:
+        """Verify one journal line (envelope CRC + store-record shape)."""
+        record, framed = unframe_line(line)
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ValueError("not a store record")
+        return record, framed
+
+    def open(self, salvage: str | None = None) -> "SessionStore":
         """Replay the journal (if any) into memory; returns ``self``.
 
         A torn final line — the signature of a crash mid-append — is
-        dropped with a warning and truncated; damage anywhere else
-        raises :class:`~repro.errors.RegistryCorruptionError` with the
-        byte offset, because mid-journal corruption is not a crash
-        artifact.
+        dropped with a warning and truncated.  Mid-journal damage (a
+        failed envelope CRC, an undecodable or unappliable record)
+        follows ``salvage`` (``REPRO_SALVAGE`` when ``None``):
+        ``"quarantine"`` preserves the damaged lines in the
+        ``.quarantine`` sidecar, atomically rewrites the clean journal,
+        warns, and keeps replaying — a session whose own record was
+        lost but whose jobs survived is re-synthesized from them so
+        recovery stays consistent; ``"raise"`` raises
+        :class:`~repro.errors.RegistryCorruptionError` with the byte
+        offset.
         """
+        mode = resolve_salvage(salvage)
         self.sessions.clear()
         self.jobs.clear()
         self.events.clear()
         self.next_seq = 1
+        self.salvage_report = None
+        self.synthesized_sessions = 0
         if not self._journal.exists():
+            self.recovered = False
             return self
+        clean, damaged, torn = scan_journal(self._journal, self._decode_line)
+        if damaged and mode == "raise":
+            raise_corruption("session store", self.path, damaged[0])
+        if torn is not None:
+            warnings.warn(
+                f"session store {self.path!r}: dropping torn final record "
+                f"at byte offset {torn.offset} ({torn.reason}); the "
+                "transition was never acknowledged",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         n_applied = 0
-        for offset, line, is_final in self._journal.iter_lines():
+        survivors: list = []
+        for scanned in clean:
             try:
-                record = json.loads(line.decode("utf-8"))
-                if not isinstance(record, dict) or "kind" not in record:
-                    raise ValueError("not a store record")
-                self._apply(record)
+                self._apply(scanned.record)
             except (ValueError, KeyError, TypeError) as exc:
-                if is_final:
-                    try:
-                        self._journal.repair_tail()
-                    except OSError:
-                        pass
-                    warnings.warn(
-                        f"session store {self.path!r}: dropping torn final "
-                        f"record at byte offset {offset} ({exc}); the "
-                        "transition was never acknowledged",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-                    break
-                raise RegistryCorruptionError(
-                    f"session store {self.path!r} is corrupt at byte offset "
-                    f"{offset}: {exc}",
-                    path=self.path,
-                    offset=offset,
-                ) from exc
+                # Decoded but unappliable: silent corruption that still
+                # parses.  Same policy as an envelope failure.
+                if mode == "raise":
+                    raise_corruption("session store", self.path,
+                                     DamagedLine(offset=scanned.offset,
+                                                 raw=scanned.line.encode(),
+                                                 reason=str(exc)))
+                damaged.append(DamagedLine(offset=scanned.offset,
+                                           raw=scanned.line.encode("utf-8"),
+                                           reason=str(exc)))
+                continue
+            survivors.append(scanned)
             n_applied += 1
+        if damaged:
+            damaged.sort(key=lambda d: d.offset)
+            quarantine_path, rewritten = quarantine_and_rewrite(
+                self._journal, survivors, damaged
+            )
+            self.salvage_report = ScrubReport(
+                path=self.path,
+                n_records=len(survivors),
+                n_framed=sum(1 for s in survivors if s.framed),
+                quarantined=tuple(damaged),
+                dropped_partial=torn is not None,
+                rewritten=rewritten,
+                quarantine_path=quarantine_path,
+            )
+            self._synthesize_orphan_sessions()
+            offsets = ", ".join(str(d.offset) for d in damaged)
+            warnings.warn(
+                f"session store {self.path!r}: quarantined {len(damaged)} "
+                f"damaged record(s) at byte offset(s) {offsets} "
+                f"(sidecar: {quarantine_path}); lost transitions are "
+                "bounded by the quarantined count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.recovered = n_applied > 0
         return self
+
+    def _synthesize_orphan_sessions(self) -> None:
+        """Rebuild sessions whose own record was quarantined.
+
+        Jobs carry their session id and tenant, so a surviving job
+        whose session record was lost to bit rot is enough to stand the
+        session back up (open, attached) — recovery and quota
+        accounting then proceed as if only the damaged record itself
+        were missing.
+        """
+        for job in self.jobs.values():
+            if job.session_id and job.session_id not in self.sessions:
+                self.sessions[job.session_id] = SessionRecord(
+                    session_id=job.session_id,
+                    tenant=job.tenant,
+                    state=SESSION_OPEN,
+                )
+                self.synthesized_sessions += 1
 
     # ------------------------------------------------------------------
     # Writing
@@ -158,7 +245,7 @@ class SessionStore:
             record["session"] = session.to_wire()
         if job is not None:
             record["job"] = job.to_wire()
-        self._journal.append_line(_encode(record))
+        self._journal.append_line(frame_line(_encode(record)))
         return self._apply(record)
 
     def _apply(self, record: dict) -> Event:
@@ -239,7 +326,7 @@ class SessionStore:
             },
         }
         retained = self._retained_events()
-        lines: list[str] = [_encode(snapshot)]
+        lines: list[str] = [frame_line(_encode(snapshot))]
         for event in retained:
             rec: dict = {
                 "v": STORE_VERSION,
@@ -250,7 +337,7 @@ class SessionStore:
             }
             if event.data:
                 rec["data"] = event.data
-            lines.append(_encode(rec))
+            lines.append(frame_line(_encode(rec)))
         self._journal.rewrite(lines)
         self.events = deque(retained, maxlen=self.events.maxlen)
         return self.size_bytes()

@@ -25,6 +25,7 @@ import time
 import pytest
 
 from repro.exec import RunRegistry, run_grid
+from repro.exec.journal import unframe_obj
 from repro.service.store import SessionStore
 
 #: The two crash points inside ``JsonlJournal.rewrite``.
@@ -156,7 +157,7 @@ class TestStoreCompactionKill:
         else:
             # The swap landed: the journal now leads with the snapshot.
             with open(path, "rb") as fh:
-                first = json.loads(fh.readline())
+                first, _framed = unframe_obj(json.loads(fh.readline()))
             assert first["kind"] == "snapshot"
 
         store = SessionStore(path).open()

@@ -13,7 +13,13 @@ import os
 import pytest
 
 import repro.exec.journal as journal_mod
-from repro.chaos.faultfs import FAULTFS_MODES, FaultFS, FaultRule
+from repro.chaos.faultfs import (
+    CORRUPT_MODES,
+    FAULTFS_MODES,
+    FaultFS,
+    FaultRule,
+    corrupt_file,
+)
 from repro.errors import JournalWriteError
 from repro.exec.journal import JsonlJournal
 
@@ -173,9 +179,142 @@ class TestScheduling:
                 with pytest.raises(JournalWriteError):
                     journal.append({"n": 0})
         assert fs.counts() == {"refuse": 2, "partial": 0, "fsync": 1,
-                               "rename": 0}
+                               "rename": 0, "bitflip": 0, "truncate": 0}
         assert fs.failures == 3
-        assert set(fs.counts()) == set(FAULTFS_MODES)
+        assert set(fs.counts()) == set(FAULTFS_MODES + CORRUPT_MODES)
+
+
+class TestCorruptFile:
+    def _fill(self, journal, n=5):
+        for i in range(n):
+            journal.append({"n": i, "pad": "x" * 24})
+        with open(journal.path, "rb") as fh:
+            return fh.read()
+
+    def test_unknown_mode_rejected(self, journal):
+        with pytest.raises(ValueError, match="corruption mode"):
+            corrupt_file(journal.path, "explode")
+
+    def test_bitflip_changes_exactly_one_byte(self, journal):
+        before = self._fill(journal)
+        damage = corrupt_file(journal.path, "bitflip", seed="s")
+        with open(journal.path, "rb") as fh:
+            after = fh.read()
+        assert damage == 1
+        assert len(after) == len(before)
+        diffs = [i for i, (a, b) in enumerate(zip(before, after)) if a != b]
+        assert len(diffs) == 1
+        assert after.count(b"\n") == before.count(b"\n")  # no line split
+
+    def test_damage_site_is_deterministic(self, journal):
+        self._fill(journal)
+        blob = open(journal.path, "rb").read()
+        corrupt_file(journal.path, "bitflip", seed="s", index=3)
+        first = open(journal.path, "rb").read()
+        open(journal.path, "wb").write(blob)
+        corrupt_file(journal.path, "bitflip", seed="s", index=3)
+        assert open(journal.path, "rb").read() == first
+
+    def test_truncate_counts_every_lost_line(self, journal):
+        self._fill(journal, n=6)
+        spans_before = len(_records(journal))
+        damage = corrupt_file(journal.path, "truncate", seed="s", torn=False)
+        survivors = _records(journal)
+        assert damage >= 1
+        assert len(survivors) == spans_before - damage
+        # Aligned cut: the survivors are intact records, no torn glue.
+        assert open(journal.path, "rb").read().endswith(b"\n")
+
+    def test_torn_truncate_leaves_a_partial_line(self, journal):
+        self._fill(journal, n=4)
+        damage = corrupt_file(journal.path, "truncate", seed="s", torn=True)
+        assert damage >= 1
+        assert not open(journal.path, "rb").read().endswith(b"\n")
+
+    def test_final_line_protected_by_default(self, journal):
+        self._fill(journal, n=4)
+        final = open(journal.path, "rb").read().splitlines()[-1]
+        for index in range(8):
+            corrupt_file(journal.path, "bitflip", seed="s", index=index)
+        assert open(journal.path, "rb").read().splitlines()[-1] == final
+
+    def test_first_line_protected_on_request(self, journal):
+        self._fill(journal, n=4)
+        first = open(journal.path, "rb").read().splitlines()[0]
+        for index in range(8):
+            corrupt_file(journal.path, "bitflip", seed="s", index=index,
+                         protect_first_line=True)
+        assert open(journal.path, "rb").read().splitlines()[0] == first
+
+    def test_too_small_files_are_left_alone(self, journal):
+        journal.append({"n": 1})  # single line: final-line protection
+        before = open(journal.path, "rb").read()
+        assert corrupt_file(journal.path, "bitflip", seed="s") == 0
+        assert open(journal.path, "rb").read() == before
+        assert corrupt_file(str(journal.path) + ".missing", "bitflip") == 0
+
+    def test_single_document_corruptible_when_unprotected(self, journal):
+        journal.append({"n": 1})
+        assert corrupt_file(journal.path, "bitflip", seed="s",
+                            protect_final_line=False) == 1
+
+
+class TestCorruptionRules:
+    def test_on_replace_requires_a_corrupt_mode(self):
+        with pytest.raises(ValueError, match="on_replace"):
+            FaultRule(path="/x", mode="refuse", on_replace=True)
+        FaultRule(path="/x", mode="bitflip", on_replace=True)  # fine
+
+    def test_bitflip_fires_on_append_open_and_spares_the_append(self, journal):
+        for i in range(4):
+            journal.append({"n": i, "pad": "y" * 24})
+        fs = FaultFS()
+        rule = fs.add_rule(journal.path, mode="bitflip", budget=1, seed="s")
+        with fs:
+            journal.append({"n": 99})
+        records = _records(journal)
+        # The in-flight append survived; one *prior* record was damaged.
+        assert {"n": 99} in records or any(r.get("n") == 99 for r in records)
+        assert rule.damage == 1 and rule.failures == 1 and not rule.active
+        assert fs.damage_records == 1
+        assert fs.counts()["bitflip"] == 1
+
+    def test_budget_not_consumed_when_nothing_to_damage(self, journal):
+        fs = FaultFS()
+        rule = fs.add_rule(journal.path, mode="bitflip", budget=1, seed="s")
+        with fs:
+            journal.append({"n": 0})  # file empty at open: nothing to rot
+        assert rule.damage == 0 and rule.failures == 0 and rule.active
+
+    def test_truncate_in_open_keeps_the_cut_aligned(self, journal):
+        for i in range(5):
+            journal.append({"n": i, "pad": "z" * 24})
+        fs = FaultFS()
+        rule = fs.add_rule(journal.path, mode="truncate", budget=1, seed="s")
+        with fs:
+            journal.append({"n": 99})
+        records = _records(journal)
+        # The acknowledged append is intact after the aligned cut, so
+        # lost records == counted damage exactly.
+        assert records[-1] == {"n": 99}
+        assert len(records) == 5 - rule.damage + 1
+
+    def test_on_replace_rots_the_freshly_swapped_file(self, journal):
+        for i in range(4):
+            journal.append({"n": i, "pad": "w" * 24})
+        clean_lines = [
+            line.decode() for _, line, _ in journal.iter_lines()
+        ]
+        fs = FaultFS()
+        rule = fs.add_rule(journal.path, mode="bitflip", budget=1,
+                           seed="s", on_replace=True)
+        with fs:
+            journal.append({"n": 4})  # plain append: on_replace idle
+            assert rule.damage == 0
+            journal.rewrite(clean_lines)  # compaction: the snapshot rots
+        assert rule.damage == 1
+        blob = open(journal.path, "rb").read()
+        assert blob != ("\n".join(clean_lines) + "\n").encode()
 
 
 class TestInstallation:

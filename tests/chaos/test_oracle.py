@@ -53,7 +53,7 @@ class TestVerifyOutcomes:
         report = verify_outcomes(_outcome(), _outcome())
         assert report.passed
         assert not report.failures
-        assert len(report.checks) == 7
+        assert len(report.checks) == 8
 
     @pytest.mark.parametrize(
         "mutate, failing",
@@ -74,6 +74,10 @@ class TestVerifyOutcomes:
              "no-orphans"),
             (lambda o: o.update(live_children=2),
              "no-orphans"),
+            # Re-executions without any recorded journal damage: the
+            # salvage path ran when nothing was rotted.
+            (lambda o: o["grid"].update(salvage_executed=2),
+             "corruption-bounded-loss"),
         ],
     )
     def test_each_divergence_fails_its_invariant(self, mutate, failing):
@@ -118,7 +122,21 @@ class TestNegativeOracle:
         report, _ = run_oracle(plan, root=tmp_path,
                                break_invariant="skip-replay")
         assert not report.passed
-        assert "service-state" in {c.name for c in report.failures}
+        # With bit rot in the plan the wiped store may read as a legal
+        # (if extreme) subset, in which case the loss bound is what
+        # convicts it instead of the state comparison.
+        assert {"service-state", "corruption-bounded-loss"} & {
+            c.name for c in report.failures
+        }
+
+    def test_skipping_salvage_recovery_is_caught(self, tmp_path):
+        plan = ChaosPlan.derive("oracle-neg", intensity=0.5)
+        report, _ = run_oracle(plan, root=tmp_path,
+                               break_invariant="skip-salvage-recovery")
+        assert not report.passed
+        # Rot left unsalvaged surfaces as re-executed cells in the
+        # final cache-only verification pass.
+        assert "zero-reexecuted-cells" in {c.name for c in report.failures}
 
     def test_unknown_break_mode_rejected(self, tmp_path):
         plan = ChaosPlan.derive("oracle-neg", intensity=0.5)

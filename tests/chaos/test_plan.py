@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.chaos.faultfs import FAULTFS_MODES
+from repro.chaos.faultfs import CORRUPT_MODES, FAULTFS_MODES
 from repro.chaos.plan import ChaosPlan
 from repro.exec.executor import ChaosConfig
 
@@ -29,7 +29,10 @@ class TestDerive:
         assert half.fault_rate == pytest.approx(full.fault_rate / 2)
         assert half.hang_rate == pytest.approx(full.hang_rate / 2)
         for knob in ("fs_mode", "fs_errno", "fs_budget", "task_timeout",
-                     "kill_every_saves", "restarts", "hang_seconds"):
+                     "kill_every_saves", "restarts", "hang_seconds",
+                     "corrupt_mode", "store_corrupt_mode",
+                     "ckpt_corrupt_mode", "corrupt_budget",
+                     "corrupt_compaction"):
             assert getattr(half, knob) == getattr(full, knob)
 
     def test_negative_intensity_rejected(self):
@@ -44,6 +47,23 @@ class TestDerive:
     def test_seeds_cover_every_fs_mode(self):
         modes = {ChaosPlan.derive(f"m{i}").fs_mode for i in range(60)}
         assert modes == set(FAULTFS_MODES)
+
+    def test_unknown_corrupt_mode_rejected(self):
+        plan = ChaosPlan.derive("s")
+        for knob in ("corrupt_mode", "store_corrupt_mode",
+                     "ckpt_corrupt_mode"):
+            with pytest.raises(ValueError, match=knob):
+                dataclasses.replace(plan, **{knob: "explode"})
+
+    def test_seeds_cover_every_corrupt_mode_per_target(self):
+        plans = [ChaosPlan.derive(f"m{i}") for i in range(60)]
+        # The three corruption knobs draw from independent hash
+        # streams: each must land on both shapes across the seed set.
+        for knob in ("corrupt_mode", "store_corrupt_mode",
+                     "ckpt_corrupt_mode"):
+            assert {getattr(p, knob) for p in plans} == set(CORRUPT_MODES)
+        assert any(p.corrupt_compaction for p in plans)
+        assert not all(p.corrupt_compaction for p in plans)
 
 
 class TestLayerViews:
@@ -71,6 +91,26 @@ class TestLayerViews:
         kwargs = plan.fs_rule_kwargs()
         assert kwargs == {"mode": plan.fs_mode, "err": plan.fs_errno,
                           "budget": plan.fs_budget}
+
+    def test_corrupt_rule_kwargs_per_target(self):
+        plan = ChaosPlan.derive("s")
+        registry = plan.corrupt_rule_kwargs("registry")
+        store = plan.corrupt_rule_kwargs("store")
+        assert registry["mode"] == plan.corrupt_mode
+        assert store["mode"] == plan.store_corrupt_mode
+        assert registry["budget"] == store["budget"] == plan.corrupt_budget
+        # The store's first line is the compaction snapshot: rotting it
+        # is whole-journal loss, not per-record bit rot, so the store
+        # rule shields it while the registry rule does not.
+        assert store["protect_first_line"] and not registry["protect_first_line"]
+        assert registry["seed"] != store["seed"]  # independent damage sites
+        assert not registry["on_replace"]
+
+    def test_corrupt_rule_kwargs_on_replace_always_bitflips(self):
+        plan = ChaosPlan.derive("s")
+        kwargs = plan.corrupt_rule_kwargs("registry", on_replace=True)
+        assert kwargs["on_replace"] and kwargs["mode"] == "bitflip"
+        assert kwargs["budget"] == 1
 
 
 class TestWire:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import CheckpointError, EvaluationFailure, RegistryCorruptionError
 from repro.exec import RunRegistry
+from repro.exec.journal import frame_obj, unframe_obj
 
 
 @pytest.fixture
@@ -72,35 +73,69 @@ class TestCorruption:
         registry.mark_completed("c" * 32, "exp", 3)
         assert set(registry.load().completed) == {"a" * 32, "b" * 32, "c" * 32}
 
-    def test_mid_file_garbage_raises_with_offset(self, registry):
+    def _damage_mid_file(self, registry):
+        """Append garbage mid-journal; return its byte offset."""
         registry.mark_completed("a" * 32, "exp", 1)
         offset_of_garbage = len(open(registry.path, "rb").read())
         with open(registry.path, "ab") as fh:
             fh.write(b"not json at all\n")
         registry.mark_completed("b" * 32, "exp", 2)
+        return offset_of_garbage
+
+    def test_mid_file_garbage_is_salvaged_by_default(self, registry):
+        offset = self._damage_mid_file(registry)
+        with pytest.warns(RuntimeWarning, match="quarantined 1 damaged"):
+            state = registry.load()
+        # Both intact cells survived; only the garbage line is gone.
+        assert set(state.completed) == {"a" * 32, "b" * 32}
+        assert state.salvaged_records == 1
+        assert state.salvage.quarantined[0].offset == offset
+        # The sidecar preserves the damaged bytes with provenance, and
+        # the rewritten journal reloads silently.
+        sidecar = json.loads(
+            open(f"{registry.path}.quarantine", "rb").readline())
+        assert sidecar["offset"] == offset
+        assert registry.load().salvaged_records == 0
+
+    def test_mid_file_garbage_raises_in_strict_mode(self, registry):
+        offset = self._damage_mid_file(registry)
         with pytest.raises(RegistryCorruptionError) as excinfo:
-            registry.load()
-        assert excinfo.value.offset == offset_of_garbage
+            registry.load(salvage="raise")
+        assert excinfo.value.offset == offset
         assert excinfo.value.path == registry.path
-        assert str(offset_of_garbage) in str(excinfo.value)
+        assert str(offset) in str(excinfo.value)
+        # Strict mode never rewrites: the evidence stays on disk.
+        assert b"not json at all\n" in open(registry.path, "rb").read()
+
+    def test_env_knob_selects_strict_mode(self, registry, monkeypatch):
+        self._damage_mid_file(registry)
+        monkeypatch.setenv("REPRO_SALVAGE", "raise")
+        with pytest.raises(RegistryCorruptionError):
+            registry.load()
 
     def test_payload_checksum_mismatch_is_corruption(self, registry):
         registry.mark_completed("a" * 32, "exp", {"value": 1})
         registry.mark_completed("b" * 32, "exp", 2)
         lines = open(registry.path, "rb").read().splitlines(keepends=True)
-        first = json.loads(lines[0])
-        first["sha"] = "0" * 64
-        lines[0] = (json.dumps(first) + "\n").encode()
+        # Corrupt the pickled payload *behind* a valid CRC envelope: the
+        # deep SHA-256 check must catch what the frame cannot.
+        record, framed = unframe_obj(json.loads(lines[0]))
+        assert framed
+        record["sha"] = "0" * 64
+        lines[0] = (frame_obj(record) + "\n").encode()
         open(registry.path, "wb").write(b"".join(lines))
         with pytest.raises(RegistryCorruptionError, match="checksum"):
-            registry.load()
+            registry.load(salvage="raise")
+        with pytest.warns(RuntimeWarning, match="quarantined 1 damaged"):
+            state = registry.load()
+        assert set(state.completed) == {"b" * 32}
 
     def test_unknown_record_version_is_corruption(self, registry):
         with open(registry.path, "wb") as fh:
             fh.write(b'{"v":99,"fp":"aaaa","status":"completed"}\n')
             fh.write(b'{"v":1,"fp":"bbbb","status":"completed","experiment":"e","attempts":1,"ts":0}\n')
         with pytest.raises(RegistryCorruptionError, match="version 99"):
-            registry.load()
+            registry.load(salvage="raise")
 
     def test_corruption_error_is_both_checkpoint_and_failure(self):
         exc = RegistryCorruptionError("x")

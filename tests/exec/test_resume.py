@@ -9,6 +9,7 @@ import os
 
 import pytest
 
+from repro.chaos.faultfs import corrupt_file
 from repro.errors import ExperimentError
 from repro.exec import RunRegistry, cell_fingerprint, run_grid
 from repro.experiments.harness import grid_map
@@ -141,6 +142,38 @@ class TestTornJournal:
         assert len(_executions(grid["log"])) == 9
 
         # The repaired journal now loads cleanly and covers the grid.
+        state = RunRegistry(grid["journal"]).load()
+        assert set(state.completed) == {
+            cell_fingerprint("resume-test", x) for x in grid["xs"]
+        }
+
+
+class TestBitRotSalvage:
+    def test_flipped_record_is_salvaged_and_only_that_cell_reruns(self, grid):
+        with open(grid["marker"], "w"):
+            pass
+        baseline = _run(grid)
+        assert baseline.executed == 8 and baseline.salvaged == 0
+
+        # Silently rot one mid-journal record (the bit-rot signature a
+        # torn-tail check cannot see).
+        damage = corrupt_file(grid["journal"], "bitflip", seed="rot")
+        assert damage == 1
+
+        with pytest.warns(RuntimeWarning, match="quarantined 1 damaged"):
+            recovered = _run(grid)
+        # Exactly the damaged cell re-ran; the rest came from cache,
+        # and the merged results are bit-identical to the clean run.
+        assert recovered.salvaged == 1
+        assert recovered.executed == 1 and recovered.cached == 7
+        assert list(recovered.results) == list(baseline.results)
+        assert len(_executions(grid["log"])) == 9
+        assert os.path.exists(f"{grid['journal']}.quarantine")
+
+        # The healed journal resumes silently with zero executions.
+        final = _run(grid)
+        assert final.salvaged == 0
+        assert final.cached == 8 and final.executed == 0
         state = RunRegistry(grid["journal"]).load()
         assert set(state.completed) == {
             cell_fingerprint("resume-test", x) for x in grid["xs"]

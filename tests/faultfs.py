@@ -1,60 +1,5 @@
-"""Thin pytest shim over :mod:`repro.chaos.faultfs`.
+"""Legacy import location: ``FailingFS`` now lives in the library."""
 
-The failing filesystem was promoted into the library
-(:class:`repro.chaos.faultfs.FaultFS`) so the chaos orchestrator can
-schedule filesystem pressure alongside worker kills and evaluator
-faults.  Existing suites keep the original one-path ``FailingFS``
-surface; new tests should use :class:`FaultFS` directly for per-path
-rules, fault budgets, and the fsync/rename failure modes.
-"""
-
-from __future__ import annotations
-
-import errno
-
-import repro.exec.journal as _journal_mod
-from repro.chaos.faultfs import FaultFS
+from repro.chaos.faultfs import FailingFS
 
 __all__ = ["FailingFS"]
-
-
-class FailingFS:
-    """Injects OSError into write-mode opens of one journal path."""
-
-    def __init__(self, monkeypatch, path, err: int = errno.ENOSPC,
-                 partial: bool = False) -> None:
-        self._fs = FaultFS()
-        self._rule = self._fs.add_rule(
-            path, mode="partial" if partial else "refuse", err=err,
-            armed=False,
-        )
-        # monkeypatch (not FaultFS.install) so pytest auto-restores the
-        # journal module even when a test errors out mid-body.
-        monkeypatch.setattr(_journal_mod, "open", self._fs._open,
-                            raising=False)
-
-    @property
-    def path(self) -> str:
-        return self._rule.path
-
-    @property
-    def err(self) -> int:
-        return self._rule.err
-
-    @property
-    def partial(self) -> bool:
-        return self._rule.mode == "partial"
-
-    @property
-    def armed(self) -> bool:
-        return self._rule.armed
-
-    @property
-    def failures(self) -> int:
-        return self._rule.failures
-
-    def arm(self) -> None:
-        self._rule.armed = True
-
-    def disarm(self) -> None:
-        self._rule.armed = False

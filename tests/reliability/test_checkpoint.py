@@ -129,6 +129,66 @@ class TestCheckpointManager:
             manager.restore(SearchTrace(algorithm="RSb"), kernel.space)
 
 
+class TestCheckpointIntegrity:
+    """CRC32 framing, the ``.bak`` fallback, and bit-flip resilience."""
+
+    def _manager(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ck.json", every=1)
+        manager.save(SearchTrace(algorithm="RS"), position=1)
+        manager.save(SearchTrace(algorithm="RS"), position=2)  # rotates .bak
+        return manager
+
+    def _flip(self, path):
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0x20
+        open(path, "wb").write(bytes(blob))
+
+    def test_saves_are_crc_framed(self, tmp_path):
+        manager = self._manager(tmp_path)
+        envelope = json.loads(open(manager.path).read())
+        assert set(envelope) == {"crc", "rec", "v"}
+        assert envelope["rec"]["position"] == 2
+
+    def test_legacy_unframed_checkpoint_loads(self, tmp_path):
+        manager = self._manager(tmp_path)
+        envelope = json.loads(open(manager.path).read())
+        # Strip the envelope: a pre-framing checkpoint document.
+        (tmp_path / "ck.json").write_text(json.dumps(envelope["rec"]))
+        assert manager.load().position == 2
+
+    def test_bitflip_falls_back_to_backup(self, tmp_path):
+        manager = self._manager(tmp_path)
+        self._flip(manager.path)
+        with pytest.warns(RuntimeWarning, match="resuming from backup"):
+            snapshot = manager.load()
+        # The .bak is the previous complete snapshot: exact, just older.
+        assert snapshot.position == 1
+
+    def test_both_copies_damaged_is_one_combined_error(self, tmp_path):
+        manager = self._manager(tmp_path)
+        self._flip(manager.path)
+        self._flip(f"{manager.path}.bak")
+        with pytest.raises(CheckpointError, match="both failed") as excinfo:
+            manager.load()
+        err = excinfo.value
+        assert err.path == manager.path and err.offset is not None
+        assert err.backup_path == f"{manager.path}.bak"
+        assert err.backup_offset is not None
+        assert ".bak" in str(err)
+
+    def test_corrupt_primary_never_clobbers_good_backup(self, tmp_path):
+        manager = self._manager(tmp_path)
+        self._flip(manager.path)
+        # The next save must not rotate the damaged primary over the
+        # last good .bak — otherwise a second flip strands the run.
+        manager.save(SearchTrace(algorithm="RS"), position=3)
+        assert manager.load().position == 3
+        self._flip(manager.path)
+        with pytest.warns(RuntimeWarning, match="resuming from backup"):
+            # .bak still holds the position-1 snapshot, not rot.
+            assert manager.load().position == 1
+
+
 class TestSearchResume:
     def test_rs_resume_is_bit_identical(self, tmp_path, kernel, make_target):
         reference = random_search(

@@ -22,6 +22,7 @@ import pytest
 
 from repro.exec import RunRegistry
 from repro.exec.executor import ChaosConfig, SupervisedExecutor
+from repro.exec.journal import unframe_obj
 from repro.service import TuningService, execute_job
 from repro.service.model import JOB_COMPLETED, JOB_QUEUED, JOB_RUNNING
 
@@ -66,7 +67,11 @@ def _registry_fingerprints(path):
     if not os.path.exists(path):
         return []
     blob = _complete_prefix(open(path, "rb").read())
-    return [json.loads(line)["fp"] for line in blob.splitlines() if line]
+    return [
+        unframe_obj(json.loads(line))[0]["fp"]
+        for line in blob.splitlines()
+        if line
+    ]
 
 
 @pytest.mark.slow

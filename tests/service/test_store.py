@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.errors import RegistryCorruptionError
+from repro.exec.journal import unframe_obj
 from repro.service.model import (
     JOB_COMPLETED,
     JOB_QUEUED,
@@ -102,15 +103,43 @@ class TestCorruption:
         clean = SessionStore(store.path).open()
         assert clean.jobs["j1"].state == JOB_COMPLETED
 
-    def test_mid_file_garbage_raises_with_offset(self, store):
+    def _damage_mid_file(self, store):
+        """Append garbage mid-journal; return its byte offset."""
         store.record("session-created", "s1", session=make_session())
         offset = len(open(store.path, "rb").read())
         with open(store.path, "ab") as fh:
             fh.write(b"not json\n")
         store.record("job-queued", "s1", job=make_job())
+        return offset
+
+    def test_mid_file_garbage_is_salvaged_by_default(self, store):
+        offset = self._damage_mid_file(store)
+        with pytest.warns(RuntimeWarning, match="quarantined 1 damaged"):
+            replayed = SessionStore(store.path).open()
+        # Every intact transition survived the scrub.
+        assert set(replayed.sessions) == {"s1"}
+        assert set(replayed.jobs) == {"j1"}
+        assert replayed.salvaged_records == 1
+        assert replayed.salvage_report.quarantined[0].offset == offset
+        # The sidecar records provenance; the clean journal reloads
+        # silently (the damage is gone, not hidden).
+        assert json.load(open(f"{store.path}.quarantine"))["offset"] == offset
+        clean = SessionStore(store.path).open()
+        assert clean.salvaged_records == 0
+
+    def test_mid_file_garbage_raises_in_strict_mode(self, store):
+        offset = self._damage_mid_file(store)
         with pytest.raises(RegistryCorruptionError) as excinfo:
-            SessionStore(store.path).open()
+            SessionStore(store.path).open(salvage="raise")
         assert excinfo.value.offset == offset
+        # Strict mode left the journal untouched for forensics.
+        assert b"not json\n" in open(store.path, "rb").read()
+
+    def test_env_knob_selects_strict_mode(self, store, monkeypatch):
+        self._damage_mid_file(store)
+        monkeypatch.setenv("REPRO_SALVAGE", "raise")
+        with pytest.raises(RegistryCorruptionError):
+            SessionStore(store.path).open()
 
     def test_open_is_idempotent(self, store):
         store.record("session-created", "s1", session=make_session())
@@ -200,5 +229,9 @@ class TestCompaction:
     def test_journal_lines_are_canonical_json(self, store):
         store.record("session-created", "s1", session=make_session())
         for raw in open(store.path, "rb").read().splitlines():
-            record = json.loads(raw)
-            assert record["v"] == 1 and "seq" in record and "kind" in record
+            envelope = json.loads(raw)
+            # Every line is a CRC32-framed envelope around the event.
+            assert envelope["v"] == 1 and "crc" in envelope
+            record, framed = unframe_obj(envelope)
+            assert framed
+            assert "seq" in record and "kind" in record
